@@ -1,0 +1,27 @@
+# Convenience targets for the reproduction.
+
+PY ?= python
+
+.PHONY: test bench experiments reproduce examples figures clean
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PY) scripts/generate_experiments_md.py
+
+reproduce:
+	$(PY) scripts/reproduce_all.py
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex"; $(PY) $$ex || exit 1; done
+
+figures:
+	$(PY) -m repro.cli figures --all
+
+clean:
+	rm -rf .pytest_cache .benchmarks src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

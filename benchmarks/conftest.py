@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one paper figure/table: it prints the ASCII
+rendering of the regenerated figure, appends paper-vs-measured comparison
+rows, and asserts the *shape* claims (who wins, by what factor).  Expensive
+testbeds are session-scoped so the grep and POS figure groups share their
+probe infrastructure, like the paper's own measurement campaigns did.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import exp_grep, exp_pos
+
+
+def single_shot(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def grep_testbed():
+    """Vetted instance + EBS volume + ~9 GB HTML catalogue (shared)."""
+    return exp_grep.make_testbed()
+
+
+@pytest.fixture(scope="session")
+def pos_testbed():
+    """Vetted instance + full-scale Text_400K catalogue (shared)."""
+    return exp_pos.make_testbed()
+
+
+def show(fig) -> None:
+    from repro.report.figures import render_ascii
+
+    print()
+    print(render_ascii(fig))

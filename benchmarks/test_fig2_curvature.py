@@ -1,0 +1,27 @@
+"""Bench F2: curve shapes and the §5 marginal provisioning rule."""
+
+from conftest import show, single_shot
+
+from repro.experiments import exp_fig2
+from repro.report import ComparisonTable
+
+
+def test_fig2_marginal_rule(benchmark):
+    fig, out = single_shot(benchmark, exp_fig2.fig2)
+    show(fig)
+    table = ComparisonTable()
+    table.add("F2", "convex (b>1) strategy", "start new instances",
+              out["convex_rule"], out["convex_rule"] == "start-new-instances")
+    table.add("F2", "concave (b<1) strategy", "pack to deadline",
+              out["concave_rule"], out["concave_rule"] == "pack-to-deadline")
+    # quantitative backing for the rule
+    cx = out["convex_marginal"]
+    cc = out["concave_marginal"]
+    table.add("F2", "convex: fresh hour beats packed hour", "yes",
+              f"{cx['first_hour']:.3g} vs {cx['last_hour']:.3g} B",
+              cx["first_hour"] > cx["last_hour"])
+    table.add("F2", "concave: packed hour beats fresh hour", "yes",
+              f"{cc['last_hour']:.3g} vs {cc['first_hour']:.3g} B",
+              cc["last_hour"] > cc["first_hour"])
+    print(table.render())
+    assert table.all_agree

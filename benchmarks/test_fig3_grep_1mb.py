@@ -1,0 +1,19 @@
+"""Bench F3: grep on a 1 MB probe — tiny values, huge deviations (Fig. 3)."""
+
+from conftest import show, single_shot
+
+from repro.experiments import exp_grep
+from repro.report import ComparisonTable
+
+
+def test_fig3_unstable_small_probes(benchmark):
+    fig, out = single_shot(benchmark, exp_grep.fig3)
+    show(fig)
+    table = ComparisonTable()
+    table.add("F3", "small-probe instability (max CV)", "large std, discarded",
+              f"CV = {out['max_cv']:.2f}", out["max_cv"] > 0.25)
+    table.add("F3", "absolute times are tiny", "< a few seconds",
+              f"max mean = {max(out['means'].values()):.2f} s",
+              max(out["means"].values()) < 5.0)
+    print(table.render())
+    assert table.all_agree

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Spot instances vs on-demand — the §1.1 cost/deadline trade-off.
+
+The paper sticks to on-demand instances because its users have deadlines;
+this extension quantifies what they give up.  A resume-capable workload of
+20 instance-hours is bid into a simulated spot market at several maximum
+prices and compared with the guaranteed on-demand schedule.
+
+Run:  python examples/spot_market.py
+"""
+
+from repro.cloud.spot import SpotMarket, SpotRequest
+from repro.sim.random import RngStream
+
+
+def main() -> None:
+    work_hours = 20.0
+    on_demand_rate = 0.085
+    market = SpotMarket(rng=RngStream(17, "spot"))
+
+    print("first 24 hourly spot prices:")
+    prices = market.prices(24)
+    print("  " + " ".join(f"{p:.3f}" for p in prices))
+    print(f"mean price ${market.mean_price:.3f}/h vs on-demand "
+          f"${on_demand_rate:.3f}/h\n")
+
+    print(f"{'bid':>7} {'done after':>11} {'paid hours':>11} {'cost':>8} "
+          f"{'vs on-demand':>13}")
+    on_demand_cost = work_hours * on_demand_rate
+    for factor in (0.85, 0.95, 1.05, 1.25, 1.75):
+        bid = round(market.mean_price * factor, 4)
+        sim = SpotRequest(bid=bid).simulate_progress(
+            market, horizon_hours=500, work_hours=work_hours)
+        done = f"{sim['completed_hour']} h" if sim["completed_hour"] else "never"
+        saving = (1 - sim["cost"] / on_demand_cost) if sim["completed_hour"] else float("nan")
+        print(f"${bid:>6.3f} {done:>11} {sim['paid_hours']:>11} "
+              f"${sim['cost']:>6.2f} {saving:>12.0%}")
+
+    print(f"\non-demand: exactly {work_hours:.0f} h for ${on_demand_cost:.2f}, "
+          "schedulable against a deadline")
+    print("spot: cheaper whenever the bid clears often enough — but the "
+          "completion hour is market-dependent, which is why the paper's "
+          "deadline-driven plans use on-demand capacity")
+
+
+if __name__ == "__main__":
+    main()

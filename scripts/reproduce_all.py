@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""One-command reproduction: tests, benchmarks, EXPERIMENTS.md.
+
+Runs the full verification pipeline and leaves the same artefacts the
+project's CI would:
+
+* ``test_output.txt``   — the unit/integration/property suite transcript;
+* ``bench_output.txt``  — every regenerated paper figure with assertions;
+* ``EXPERIMENTS.md``    — the paper-vs-measured comparison table.
+
+Exit status is non-zero if any stage fails.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def run(label: str, cmd: list[str], tee_to: str | None = None) -> int:
+    print(f"\n=== {label}: {' '.join(cmd)} ===", flush=True)
+    proc = subprocess.run(cmd, cwd=ROOT, capture_output=True, text=True)
+    output = proc.stdout + proc.stderr
+    if tee_to:
+        (ROOT / tee_to).write_text(output, encoding="utf-8")
+    # show the tail so progress is visible without drowning the terminal
+    tail = "\n".join(output.splitlines()[-12:])
+    print(tail)
+    if proc.returncode != 0:
+        print(f"*** {label} FAILED (exit {proc.returncode})", file=sys.stderr)
+    return proc.returncode
+
+
+def main() -> int:
+    status = 0
+    status |= run("tests", [sys.executable, "-m", "pytest", "tests/"],
+                  tee_to="test_output.txt")
+    status |= run("benchmarks",
+                  [sys.executable, "-m", "pytest", "benchmarks/",
+                   "--benchmark-only"],
+                  tee_to="bench_output.txt")
+    status |= run("experiments table",
+                  [sys.executable, "scripts/generate_experiments_md.py"])
+    if status == 0:
+        print("\nreproduction complete: test_output.txt, bench_output.txt, "
+              "EXPERIMENTS.md")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,16 @@
+"""repro — reproduction of "Reshaping text data for efficient processing
+on Amazon EC2" (Turcu, Foster & Nestorov, Scientific Programming 19, 2011).
+
+The package rebuilds the paper's full stack: a deterministic EC2 simulator
+(:mod:`repro.cloud`), real text applications with work accounting
+(:mod:`repro.apps`), synthetic corpora matching the paper's data sets
+(:mod:`repro.corpus`), the reshaping heuristics (:mod:`repro.packing`),
+the empirical performance-modelling methodology (:mod:`repro.perfmodel`),
+and the provisioning/planning contribution itself (:mod:`repro.core`,
+:mod:`repro.runner`).  See README.md for the tour and DESIGN.md for the
+per-experiment index.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

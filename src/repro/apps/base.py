@@ -1,0 +1,106 @@
+"""Application protocol and work accounting."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence, Union
+
+from repro.vfs.files import Segment, TextStats, VirtualFile
+
+__all__ = ["WorkAccount", "AppResult", "UnitMeta", "as_unit_meta", "TextApplication", "Unit"]
+
+#: A processable unit: either an original file or a reshaped segment.
+Unit = Union[VirtualFile, Segment]
+
+
+@dataclass
+class WorkAccount:
+    """Deterministic work counters for one application run.
+
+    Wall-clock time on EC2 is noisy and machine-dependent; work counters are
+    exact and portable.  The cost profiles in :mod:`repro.apps.profiles`
+    convert them to reference seconds, and instance heterogeneity is applied
+    on top by the cloud simulator.
+    """
+
+    files_opened: int = 0
+    bytes_read: int = 0
+    tokens: int = 0
+    sentences: int = 0
+    matches: int = 0
+    output_bytes: int = 0
+    context_ops: float = 0.0  # superlinear per-sentence tagger work
+
+    def __add__(self, other: "WorkAccount") -> "WorkAccount":
+        return WorkAccount(
+            files_opened=self.files_opened + other.files_opened,
+            bytes_read=self.bytes_read + other.bytes_read,
+            tokens=self.tokens + other.tokens,
+            sentences=self.sentences + other.sentences,
+            matches=self.matches + other.matches,
+            output_bytes=self.output_bytes + other.output_bytes,
+            context_ops=self.context_ops + other.context_ops,
+        )
+
+    def validate(self) -> None:
+        """Reject negative counters (corrupted accounting)."""
+        for name in ("files_opened", "bytes_read", "tokens", "sentences",
+                     "matches", "output_bytes"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"negative work counter {name}")
+        if self.context_ops < 0:
+            raise ValueError("negative context_ops")
+
+
+@dataclass
+class AppResult:
+    """Outcome of a native run: exact work plus application outputs."""
+
+    work: WorkAccount
+    outputs: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class UnitMeta:
+    """The metadata slice of a unit that cost models consume."""
+
+    size: int
+    stats: TextStats
+    n_members: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size < 0 or self.n_members < 0:
+            raise ValueError("unit metadata must be non-negative")
+
+
+def as_unit_meta(unit: Unit) -> UnitMeta:
+    """Normalise a file or segment to :class:`UnitMeta`."""
+    if isinstance(unit, Segment):
+        return UnitMeta(size=unit.size, stats=unit.stats(), n_members=unit.n_members)
+    if isinstance(unit, VirtualFile):
+        return UnitMeta(size=unit.size, stats=unit.stats, n_members=1)
+    raise TypeError(f"not a processable unit: {type(unit).__name__}")
+
+
+class TextApplication(ABC):
+    """A text tool that consumes unit files and reports its work.
+
+    Implementations guarantee that for units whose metadata is faithful,
+    ``estimate_work`` approximates the counters ``run_native`` produces
+    (tests pin the agreement tolerance).
+    """
+
+    name: str = "app"
+
+    @abstractmethod
+    def run_native(self, units: Sequence[Unit]) -> AppResult:
+        """Materialise and actually process ``units``."""
+
+    @abstractmethod
+    def estimate_work(self, units: Iterable[UnitMeta]) -> WorkAccount:
+        """Predict the work counters from metadata alone."""
+
+    def estimate_for(self, units: Sequence[Unit]) -> WorkAccount:
+        """Convenience: :meth:`estimate_work` over live unit objects."""
+        return self.estimate_work(as_unit_meta(u) for u in units)

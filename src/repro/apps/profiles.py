@@ -1,0 +1,144 @@
+"""Cost profiles: work → reference-instance seconds.
+
+A profile is the *ground truth* the EC2 simulator charges for running an
+application — the thing the paper's empirical methodology (probes, curve
+fits) estimates from the outside.  Nothing in :mod:`repro.perfmodel` or
+:mod:`repro.core` may read these constants; they only observe measured
+times.
+
+Each profile splits service time into a :class:`TimeBreakdown`:
+
+``setup``
+    per-run overhead (process/JVM start, argument parsing) — the source of
+    the "domination of unstable setup overheads" on tiny probes (Fig. 3);
+``io``
+    storage-bound seconds on the reference device (divided by the
+    instance's I/O factor and the EBS placement factor by the executor);
+``cpu``
+    compute-bound seconds on the reference core (divided by the instance's
+    CPU factor).
+
+Calibration targets (§5 of the paper): grep streams at ≈75 MB/s
+(Eq. (1) slope 1.324e-8 s/B) with a per-file penalty that makes the
+original small-file layout ≈5.6× slower than 100 MB units (Fig. 6); POS
+tagging costs ≈0.865e-4 s/B on the probe mix (Eq. (3)), degrades
+"pronouncedly" on large unit files (Fig. 7), and roughly doubles between
+simple and complex prose at equal word count (§5.2 novels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import log2
+from typing import Iterable
+
+from repro.apps.base import UnitMeta
+from repro.apps.postagger import CONTEXT_EXPONENT
+from repro.sim.random import RngStream
+from repro.units import MB
+
+__all__ = ["TimeBreakdown", "GrepCostProfile", "PosCostProfile"]
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    """Reference-instance seconds, split by bottleneck resource."""
+
+    setup: float
+    io: float
+    cpu: float
+
+    @property
+    def total(self) -> float:
+        return self.setup + self.io + self.cpu
+
+    def __post_init__(self) -> None:
+        if min(self.setup, self.io, self.cpu) < 0:
+            raise ValueError("time components must be non-negative")
+
+
+@dataclass(frozen=True)
+class GrepCostProfile:
+    """I/O-bound search: per-file open/seek penalty plus streaming.
+
+    ``per_file_overhead`` models EBS metadata + random placement seeks for
+    each file open — the quantity that data reshaping amortises.
+    """
+
+    setup_median: float = 0.18       # seconds; lognormal median
+    setup_sigma: float = 0.9         # large spread → unstable small probes
+    per_file_overhead: float = 0.004  # seconds per file opened
+    # io + cpu per byte = 1.224e-8 + 0.1e-8 = 1.324e-8 s/B, the Eq. (1) slope.
+    stream_bandwidth: float = 81.7 * MB  # bytes/s sequential read
+    cpu_per_byte: float = 1.0e-9     # pattern automaton cost
+    cpu_per_match: float = 2.0e-6    # formatting matched lines
+
+    def draw_setup(self, rng: RngStream) -> float:
+        """Per-run startup seconds (lognormal)."""
+        import math
+
+        return rng.lognormal(math.log(self.setup_median), self.setup_sigma)
+
+    def breakdown(self, units: Iterable[UnitMeta], *, matches: int = 0) -> TimeBreakdown:
+        """Reference-time split for processing ``units``."""
+        n_files = 0
+        n_bytes = 0
+        for u in units:
+            n_files += 1
+            n_bytes += u.size
+        io = n_files * self.per_file_overhead + n_bytes / self.stream_bandwidth
+        cpu = n_bytes * self.cpu_per_byte + matches * self.cpu_per_match
+        return TimeBreakdown(setup=0.0, io=io, cpu=cpu)
+
+
+@dataclass(frozen=True)
+class PosCostProfile:
+    """Memory/CPU-bound tagging.
+
+    The memory-residency penalty ``1 + rate·log2(size/knee)`` (capped)
+    charges extra for unit files that overflow the tagger's working set —
+    the mechanism behind Fig. 7's "degradation for working with large files
+    is pronounced".  Context work uses the same superlinear sentence-length
+    exponent as the native tagger, making prose complexity a first-class
+    cost driver (§5.2 novels experiment).
+    """
+
+    jvm_startup_median: float = 3.0   # seconds; the Eq. (4) intercept ≈3.086
+    jvm_startup_sigma: float = 0.25
+    per_file_overhead: float = 2.0e-4  # wrapped tagger: no JVM restart per file
+    local_read_bandwidth: float = 100.0 * MB
+    # Calibrated so the probe mix (≈8.1 B/token, ≈20 words/sentence) costs
+    # ≈0.865e-4 s/B — the Eq. (3) slope.
+    per_token: float = 1.3e-4
+    per_context_op: float = 4.2e-5
+    mem_penalty_knee: int = 800       # bytes; files beyond this thrash caches
+    mem_penalty_rate: float = 0.08
+    mem_penalty_cap: float = 2.2
+
+    def draw_setup(self, rng: RngStream) -> float:
+        """Per-run startup seconds (lognormal)."""
+        import math
+
+        return rng.lognormal(math.log(self.jvm_startup_median), self.jvm_startup_sigma)
+
+    def memory_penalty(self, size: int) -> float:
+        """Working-set multiplier for a unit file of ``size`` bytes."""
+        if size <= self.mem_penalty_knee:
+            return 1.0
+        return min(self.mem_penalty_cap,
+                   1.0 + self.mem_penalty_rate * log2(size / self.mem_penalty_knee))
+
+    def breakdown(self, units: Iterable[UnitMeta], *, matches: int = 0) -> TimeBreakdown:
+        """Reference-time split for processing ``units``."""
+        # ``matches`` accepted for interface parity with the grep profile;
+        # tagging cost does not depend on it.
+        io = 0.0
+        cpu = 0.0
+        for u in units:
+            tokens = u.stats.tokens_in(u.size)
+            avg_len = max(1.0, u.stats.avg_sentence_words)
+            ctx_ops = tokens * avg_len ** (CONTEXT_EXPONENT - 1.0)
+            unit_cpu = tokens * self.per_token + ctx_ops * self.per_context_op
+            cpu += unit_cpu * self.memory_penalty(u.size)
+            io += self.per_file_overhead + u.size / self.local_read_bandwidth
+        return TimeBreakdown(setup=0.0, io=io, cpu=cpu)

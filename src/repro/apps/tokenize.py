@@ -1,0 +1,45 @@
+"""Tokenisation utilities shared by the applications.
+
+The paper motivates full-traversal grep as "a processing pattern that occurs
+often in basic Natural Language Processing applications (e.g., tokenization)"
+— so the tokenizer here is a real, tested component, also used as the POS
+tagger's front end.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["strip_markup", "tokenize", "sentences"]
+
+_TAG_RE = re.compile(r"<[^>]*>")
+_TOKEN_RE = re.compile(r"[A-Za-z]+(?:'[A-Za-z]+)?|\d+(?:\.\d+)?|[.,;:!?()\"'-]")
+_SENT_END = {".", "!", "?"}
+
+
+def strip_markup(text: str) -> str:
+    """Remove HTML tags, keeping the visible text (cheap, regex-based)."""
+    return _TAG_RE.sub(" ", text)
+
+
+def tokenize(text: str) -> list[str]:
+    """Split ``text`` into word, number and punctuation tokens."""
+    return _TOKEN_RE.findall(text)
+
+
+def sentences(text: str) -> list[list[str]]:
+    """Tokenise and group into sentences on terminal punctuation.
+
+    A trailing unterminated fragment still forms a sentence, so no token is
+    ever dropped (a tagger invariant the tests rely on).
+    """
+    out: list[list[str]] = []
+    cur: list[str] = []
+    for tok in tokenize(text):
+        cur.append(tok)
+        if tok in _SENT_END:
+            out.append(cur)
+            cur = []
+    if cur:
+        out.append(cur)
+    return out

@@ -1,0 +1,155 @@
+"""Command-line interface: regenerate figures and inspect data sets.
+
+Usage::
+
+    python -m repro.cli figures --ids F4 F7        # regenerate figures
+    python -m repro.cli figures --all
+    python -m repro.cli datasets                   # Fig. 1 summaries
+    python -m repro.cli quickstart                 # the end-to-end demo
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.report.figures import FigureResult, render_ascii
+
+__all__ = ["main", "FIGURES"]
+
+
+def _fig1a() -> FigureResult:
+    from repro.experiments.exp_fig1 import fig1a
+
+    return fig1a()[0]
+
+
+def _fig1b() -> FigureResult:
+    from repro.experiments.exp_fig1 import fig1b
+
+    return fig1b()[0]
+
+
+def _fig2() -> FigureResult:
+    from repro.experiments.exp_fig2 import fig2
+
+    return fig2()[0]
+
+
+def _fig3() -> FigureResult:
+    from repro.experiments.exp_grep import fig3
+
+    return fig3()[0]
+
+
+def _grep_figure(which: str) -> FigureResult:
+    from repro.experiments import exp_grep
+
+    tb = exp_grep.make_testbed()
+    return getattr(exp_grep, which)(tb)[0]
+
+
+def _pos_figure(which: str) -> FigureResult:
+    from repro.experiments import exp_pos
+
+    tb = exp_pos.make_testbed()
+    return getattr(exp_pos, which)(tb)[0]
+
+
+def _novels() -> FigureResult:
+    from repro.experiments.exp_pos import novels
+
+    return novels()[0]
+
+
+def _side(which: str) -> FigureResult:
+    from repro.experiments import exp_side
+
+    return getattr(exp_side, which)()[0]
+
+
+FIGURES: dict[str, Callable[[], FigureResult]] = {
+    "F1a": _fig1a,
+    "F1b": _fig1b,
+    "F2": _fig2,
+    "F3": _fig3,
+    "F4": lambda: _grep_figure("fig4"),
+    "F5": lambda: _grep_figure("fig5"),
+    "F6": lambda: _grep_figure("fig6"),
+    "F7": lambda: _pos_figure("fig7"),
+    "F8": lambda: _pos_figure("fig8"),
+    "F9": lambda: _pos_figure("fig9"),
+    "X1": _novels,
+    "X2": lambda: _side("instance_switching"),
+    "X3": lambda: _side("probe_protocol_trace"),
+    "X4": lambda: _side("output_retrieval"),
+    "X5": lambda: _side("spot_tradeoff"),
+    "X6": lambda: _side("prediction_approaches"),
+    "X7": lambda: _side("sampling_vitality"),
+}
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    """``figures`` subcommand: render the requested figures."""
+    ids = list(FIGURES) if args.all else args.ids
+    if not ids:
+        print("no figure ids given (use --ids F4 F7 … or --all)", file=sys.stderr)
+        return 2
+    unknown = [i for i in ids if i not in FIGURES]
+    if unknown:
+        print(f"unknown figure id(s): {unknown}; known: {sorted(FIGURES)}",
+              file=sys.stderr)
+        return 2
+    for fid in ids:
+        print(render_ascii(FIGURES[fid]()))
+        print()
+    return 0
+
+
+def cmd_datasets(_args: argparse.Namespace) -> int:
+    """``datasets`` subcommand: print Fig. 1 summaries."""
+    from repro.corpus import html_18mil_like, text_400k_like
+
+    for cat in (html_18mil_like(scale=1e-3), text_400k_like(scale=1e-2)):
+        d = cat.describe()
+        print(f"{d['name']:>12}: {d['files']} files, total {d['total']:,} B, "
+              f"mean {d['mean']:.0f} B, median {d['median']:.0f} B, "
+              f"p90 {d['p90']:.0f} B, max {d['max']:,} B")
+    return 0
+
+
+def cmd_quickstart(_args: argparse.Namespace) -> int:
+    """``quickstart`` subcommand: run the quickstart example."""
+    import runpy
+    from pathlib import Path
+
+    script = Path(__file__).resolve().parents[2] / "examples" / "quickstart.py"
+    runpy.run_path(str(script), run_name="__main__")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Regenerate the paper's figures and demos.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig = sub.add_parser("figures", help="regenerate paper figures")
+    p_fig.add_argument("--ids", nargs="*", default=[], metavar="ID",
+                       help=f"figure ids ({', '.join(FIGURES)})")
+    p_fig.add_argument("--all", action="store_true", help="all figures")
+    p_fig.set_defaults(fn=cmd_figures)
+
+    p_ds = sub.add_parser("datasets", help="summarise the synthetic data sets")
+    p_ds.set_defaults(fn=cmd_datasets)
+
+    p_qs = sub.add_parser("quickstart", help="run the quickstart example")
+    p_qs.set_defaults(fn=cmd_quickstart)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,71 @@
+"""A discrete EC2 simulator — the paper's testbed, rebuilt (§1.1, §3.1).
+
+The reproduction cannot run on 2010-era Amazon EC2, so this package models
+the slice of EC2 the paper's results actually depend on:
+
+* **instance types & pricing** — small 32-bit instances, 1 EC2 compute
+  unit, $0.085 per *hour or partial hour* of RUNNING time;
+* **regions / availability zones** — placement constraints for EBS;
+* **instance lifecycle** — pending → running → shutting-down → terminated,
+  with a boot delay of roughly three minutes (§3.1's switching argument);
+* **performance heterogeneity** — most instances are stable and fast, but
+  some are *consistently* slow, with CPU and I/O spreads matching the
+  Dejun et al. observations the paper cites (up to 4×);
+* **EBS volumes** — attachable to one instance at a time, persistent,
+  same-AZ constraint, with per-directory placement quality that produces
+  the repeatable Fig. 5 spikes ("clones of a large sized directory can
+  result in performance variations of up to a factor of 3");
+* **S3-like object store** — higher, more variable latency than EBS;
+* **bonnie++-style vetting** — block-I/O probing used by the §4
+  acquisition loop ("over 60 MB/s block read/write performance");
+* **an execution service** — charges an application's cost profile against
+  a specific instance and storage placement, with measurement noise.
+
+Everything the *empirical* layers (perfmodel, core) observe comes through
+measured times returned by :class:`ExecutionService`; they never read the
+ground-truth factors directly.
+"""
+
+from repro.cloud.billing import BillingLedger, UsageRecord
+from repro.cloud.bonnie import BonnieResult, acquire_good_instance, bonnie_probe
+from repro.cloud.cluster import Cloud
+from repro.cloud.ebs import EbsVolume, PlacementModel
+from repro.cloud.failures import FailureModel
+from repro.cloud.instance import Instance, InstanceState
+from repro.cloud.s3 import S3Store
+from repro.cloud.service import ExecutionService, Workload
+from repro.cloud.spot import SpotMarket, SpotRequest
+from repro.cloud.staging import StagePlan, UploadSite
+from repro.cloud.types import (
+    AvailabilityZone,
+    InstanceType,
+    Region,
+    SMALL,
+    US_EAST,
+)
+
+__all__ = [
+    "BillingLedger",
+    "UsageRecord",
+    "BonnieResult",
+    "bonnie_probe",
+    "acquire_good_instance",
+    "Cloud",
+    "EbsVolume",
+    "PlacementModel",
+    "FailureModel",
+    "Instance",
+    "InstanceState",
+    "S3Store",
+    "ExecutionService",
+    "Workload",
+    "SpotMarket",
+    "SpotRequest",
+    "StagePlan",
+    "UploadSite",
+    "AvailabilityZone",
+    "InstanceType",
+    "Region",
+    "SMALL",
+    "US_EAST",
+]

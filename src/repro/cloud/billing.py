@@ -1,0 +1,87 @@
+"""Flat ceil-hour billing (§1.1, §5).
+
+"The pricing scheme for instances provides a flat rate for an hour or
+partial hour of computation ($0.1 × ⌈h⌉)" — the single fact that makes the
+paper's provisioning problem interesting: once an instance is running, "in
+most situations we will prefer to let it continue to run at least to the
+full hour."
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["UsageRecord", "BillingLedger", "billable_hours"]
+
+
+def billable_hours(duration_seconds: float) -> int:
+    """Hours billed for a running interval: ceil, minimum one for any use."""
+    if duration_seconds < 0:
+        raise ValueError("negative duration")
+    if duration_seconds == 0:
+        return 0
+    return max(1, math.ceil(duration_seconds / 3600.0))
+
+
+@dataclass(frozen=True)
+class UsageRecord:
+    """One instance's billed usage."""
+
+    instance_id: str
+    instance_type: str
+    start: float
+    end: float
+    hourly_rate: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def hours(self) -> int:
+        return billable_hours(self.duration)
+
+    @property
+    def cost(self) -> float:
+        return self.hours * self.hourly_rate
+
+
+class BillingLedger:
+    """Accumulates usage records; the experiments read instance-hours here.
+
+    Time in pending / shutting-down / terminated states is free (§3.1), so
+    only RUNNING intervals are ever recorded.
+    """
+
+    def __init__(self) -> None:
+        self._records: list[UsageRecord] = []
+
+    def record(self, instance_id: str, instance_type: str, start: float,
+               end: float, hourly_rate: float) -> UsageRecord:
+        """Append one RUNNING interval to the ledger."""
+        if end < start:
+            raise ValueError(f"usage interval ends before it starts: [{start}, {end}]")
+        rec = UsageRecord(instance_id, instance_type, start, end, hourly_rate)
+        self._records.append(rec)
+        return rec
+
+    @property
+    def records(self) -> tuple[UsageRecord, ...]:
+        return tuple(self._records)
+
+    @property
+    def total_cost(self) -> float:
+        return sum(r.cost for r in self._records)
+
+    @property
+    def total_instance_hours(self) -> int:
+        return sum(r.hours for r in self._records)
+
+    def summary(self) -> dict:
+        """Counts, instance-hours and dollars in one dict."""
+        return {
+            "instances": len(self._records),
+            "instance_hours": self.total_instance_hours,
+            "cost_usd": round(self.total_cost, 4),
+        }

@@ -1,0 +1,97 @@
+"""bonnie++-style instance vetting (§4).
+
+"We first request a small instance and measure its performance using
+bonnie++ to ensure that it is of high quality (over 60 MB/s block
+read/write performance).  We repeat this performance measurement to confirm
+that the instance is stable.  We repeat this procedure until we acquire an
+instance that performs well."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.cluster import Cloud
+from repro.cloud.instance import Instance
+from repro.cloud.types import SMALL, InstanceType
+from repro.units import MB
+
+__all__ = ["BonnieResult", "bonnie_probe", "acquire_good_instance", "AcquisitionError"]
+
+#: The paper's quality bar.
+DEFAULT_THRESHOLD = 60 * MB
+
+#: Simulated duration of one bonnie++ pass (it writes/reads a multi-GB file).
+BONNIE_DURATION = 120.0
+
+
+class AcquisitionError(RuntimeError):
+    """No good instance found within the attempt budget."""
+
+
+@dataclass(frozen=True)
+class BonnieResult:
+    """One benchmark pass: sequential block throughputs in bytes/s."""
+
+    block_read: float
+    block_write: float
+
+    def passes(self, threshold: float = DEFAULT_THRESHOLD) -> bool:
+        """True when both throughputs clear the quality bar."""
+        return self.block_read >= threshold and self.block_write >= threshold
+
+
+def bonnie_probe(cloud: Cloud, instance: Instance) -> BonnieResult:
+    """Measure an instance's disk throughput (costs simulated time).
+
+    The measured value is the hidden ``io_factor`` times the type's base
+    bandwidth, with small run-to-run noise — so a consistently-slow
+    instance *measures* consistently slow, which is what makes vetting
+    worthwhile.
+    """
+    instance.require_running()
+    n = getattr(instance, "_bonnie_runs", 0)
+    setattr(instance, "_bonnie_runs", n + 1)
+    rng = cloud.rng.fork(f"bonnie.{instance.instance_id}.{n}")
+    base = instance.itype.base_disk_bandwidth * instance.io_factor
+    read = base * rng.fork("read").lognormal(0.0, 0.03)
+    write = 0.9 * base * rng.fork("write").lognormal(0.0, 0.04)
+    cloud.advance(BONNIE_DURATION)
+    return BonnieResult(block_read=read, block_write=write)
+
+
+def acquire_good_instance(
+    cloud: Cloud,
+    *,
+    itype: InstanceType = SMALL,
+    threshold: float = DEFAULT_THRESHOLD,
+    repeats: int = 2,
+    stability_tolerance: float = 0.10,
+    max_attempts: int = 25,
+) -> tuple[Instance, int]:
+    """The §4 acquisition loop; returns ``(instance, attempts)``.
+
+    Launches instances until one both clears ``threshold`` on every one of
+    ``repeats`` bonnie passes *and* is stable (relative spread of the read
+    measurements below ``stability_tolerance``).  Rejected instances are
+    terminated immediately (each still bills its partial hour).
+    """
+    if repeats < 1:
+        raise ValueError("need at least one bonnie pass")
+    for attempt in range(1, max_attempts + 1):
+        inst = cloud.launch_instance(itype=itype)
+        reads: list[float] = []
+        ok = True
+        for _ in range(repeats):
+            res = bonnie_probe(cloud, inst)
+            reads.append(res.block_read)
+            if not res.passes(threshold):
+                ok = False
+                break
+        if ok and len(reads) > 1:
+            spread = (max(reads) - min(reads)) / max(reads)
+            ok = spread <= stability_tolerance
+        if ok:
+            return inst, attempt
+        cloud.terminate_instance(inst)
+    raise AcquisitionError(f"no instance passed vetting in {max_attempts} attempts")

@@ -1,0 +1,173 @@
+"""The cloud facade: launching, terminating, storage, billing."""
+
+from __future__ import annotations
+
+from repro.cloud.billing import BillingLedger
+from repro.cloud.ebs import EbsError, EbsVolume, PlacementModel
+from repro.cloud.instance import HeterogeneityModel, Instance, InstanceError, InstanceState
+from repro.cloud.s3 import S3Store
+from repro.cloud.types import SMALL, AvailabilityZone, InstanceType, Region, US_EAST
+from repro.sim.engine import SimulationEngine
+from repro.sim.random import RngStream
+
+__all__ = ["Cloud"]
+
+
+class Cloud:
+    """A single-region EC2 simulation with deterministic hidden state.
+
+    All randomness (instance quality, boot delays, placement, measurement
+    noise) descends from ``seed``.  The simulated clock is owned by an
+    internal :class:`SimulationEngine`; callers advance it through the
+    execution service or :meth:`advance`.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        region: Region = US_EAST,
+        heterogeneity: HeterogeneityModel | None = None,
+        placement: PlacementModel | None = None,
+        boot_delay_range: tuple[float, float] = (90.0, 210.0),
+        cpu_heterogeneity: HeterogeneityModel | None = None,
+        io_heterogeneity: HeterogeneityModel | None = None,
+        failure_model: "FailureModel | None" = None,
+    ) -> None:
+        from repro.cloud.instance import CPU_HETEROGENEITY, IO_HETEROGENEITY
+
+        self.engine = SimulationEngine()
+        self.rng = RngStream(seed, name="cloud")
+        self.region = region
+        # ``heterogeneity`` overrides both resource models when given.
+        self.cpu_heterogeneity = heterogeneity or cpu_heterogeneity or CPU_HETEROGENEITY
+        self.io_heterogeneity = heterogeneity or io_heterogeneity or IO_HETEROGENEITY
+        self.placement = placement or PlacementModel()
+        self.boot_delay_range = boot_delay_range
+        self.failure_model = failure_model
+        self.ledger = BillingLedger()
+        self.s3 = S3Store(region_name=region.name)
+        self._instances: dict[str, Instance] = {}
+        self._volumes: dict[str, EbsVolume] = {}
+        self._launches = 0
+        self._volume_count = 0
+
+    # -- clock -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    def advance(self, seconds: float) -> None:
+        """Move simulated time forward by ``seconds``."""
+        if seconds < 0:
+            raise ValueError("cannot advance time backwards")
+        self.engine.run(until=self.engine.now + seconds)
+
+    # -- instances ---------------------------------------------------------
+
+    def launch_instance(
+        self,
+        itype: InstanceType = SMALL,
+        zone: AvailabilityZone | None = None,
+        *,
+        wait: bool = True,
+    ) -> Instance:
+        """Request one instance; with ``wait``, block until it is RUNNING.
+
+        The boot delay ("a penalty of 3 min for the new instance startup",
+        §3.1) is drawn per launch; booting time is not billed.
+        """
+        self._launches += 1
+        rng = self.rng.fork(f"instance.{self._launches}")
+        inst = Instance(
+            instance_id=f"i-{self._launches:06d}",
+            itype=itype,
+            zone=zone or self.region.zones[0],
+            cpu_factor=self.cpu_heterogeneity.draw_factor(rng.fork("cpu")),
+            io_factor=self.io_heterogeneity.draw_factor(rng.fork("io")),
+            launched_at=self.now,
+            boot_delay=rng.fork("boot").uniform(*self.boot_delay_range),
+            time_to_failure=(
+                self.failure_model.draw_time_to_failure(rng.fork("failure"))
+                if self.failure_model is not None else None
+            ),
+        )
+        self._instances[inst.instance_id] = inst
+        if wait:
+            self.advance(inst.boot_delay)
+            inst.mark_running(self.now)
+        return inst
+
+    def wait_until_running(self, instance: Instance) -> None:
+        """Advance the clock to the instance's boot completion if needed."""
+        if instance.state is InstanceState.PENDING:
+            if instance.ready_at > self.now:
+                self.advance(instance.ready_at - self.now)
+            instance.mark_running(self.now)
+
+    def terminate_instance(self, instance: Instance) -> None:
+        """Terminate and bill the RUNNING interval (ceil-hour pricing)."""
+        was_running = instance.billable_interval is not None
+        instance.terminate(self.now)
+        if was_running:
+            start, _ = instance.billable_interval  # type: ignore[misc]
+            self.ledger.record(
+                instance.instance_id, instance.itype.name,
+                start, self.now, instance.itype.hourly_rate,
+            )
+
+    def fail_instance(self, instance: Instance) -> None:
+        """Crash a running instance at the current time and bill its usage.
+
+        Partial hours are still charged — the crash does not refund the
+        ceil-hour already entered.
+        """
+        start = instance.running_since
+        instance.fail(self.now)
+        if start is not None:
+            self.ledger.record(
+                instance.instance_id, instance.itype.name,
+                start, self.now, instance.itype.hourly_rate,
+            )
+
+    def finalize_billing(self) -> None:
+        """Bill all still-running instances up to the current time."""
+        for inst in self._instances.values():
+            if inst.state is InstanceState.RUNNING:
+                self.terminate_instance(inst)
+
+    @property
+    def instances(self) -> tuple[Instance, ...]:
+        return tuple(self._instances.values())
+
+    def running_instances(self) -> list[Instance]:
+        """Instances currently in the RUNNING state."""
+        return [i for i in self._instances.values() if i.state is InstanceState.RUNNING]
+
+    # -- storage -----------------------------------------------------------
+
+    def create_volume(self, size_gb: int, zone: AvailabilityZone | None = None) -> EbsVolume:
+        """Provision an EBS volume in ``zone`` (default: first zone)."""
+        self._volume_count += 1
+        vol = EbsVolume(
+            volume_id=f"vol-{self._volume_count:06d}",
+            size_gb=size_gb,
+            zone=zone or self.region.zones[0],
+            placement_model=self.placement,
+            seed=self.rng.fork(f"volume.{self._volume_count}").seed,
+        )
+        self._volumes[vol.volume_id] = vol
+        return vol
+
+    @property
+    def volumes(self) -> tuple[EbsVolume, ...]:
+        return tuple(self._volumes.values())
+
+    def swap_volume(self, volume: EbsVolume, new_instance: Instance) -> None:
+        """Detach ``volume`` from its current instance and attach it to a new
+        one — the §3.1/§7 recovery path ("replacing poorly performing
+        instances can be done easily without explicit data transfers")."""
+        if new_instance.zone != volume.zone:
+            raise EbsError("replacement instance must be in the volume's zone")
+        volume.detach()
+        volume.attach(new_instance)

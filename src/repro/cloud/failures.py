@@ -1,0 +1,43 @@
+"""Instance failure injection.
+
+EC2's fault tolerance is a headline reason the paper considers clouds at
+all (§1), EBS persistence is motivated by surviving crashes ("the root
+partition … of type instance-store … its contents are lost in case of a
+crash", §1.1), and §7 plans to "force termination [of unresponsive
+instances] and reassign their task to another instance".  This module
+injects the crashes those mechanisms exist for.
+
+A :class:`FailureModel` draws an exponential time-to-failure per instance
+at launch; the instance crashes that long after it enters RUNNING.  The
+fault-tolerant runner (:mod:`repro.runner.fault_tolerant`) then detects
+and recovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.random import RngStream
+from repro.units import HOUR
+
+__all__ = ["FailureModel"]
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """Exponential instance-crash process.
+
+    ``mtbf_hours`` is the mean time between failures of a single running
+    instance.  EC2's SLA-era reality was weeks, but fault-tolerance tests
+    use small values to exercise recovery within one simulated job.
+    """
+
+    mtbf_hours: float
+
+    def __post_init__(self) -> None:
+        if self.mtbf_hours <= 0:
+            raise ValueError("MTBF must be positive")
+
+    def draw_time_to_failure(self, rng: RngStream) -> float:
+        """Seconds of RUNNING time until this instance crashes."""
+        return rng.exponential(self.mtbf_hours * HOUR)

@@ -1,0 +1,147 @@
+"""Instance lifecycle and per-instance performance ground truth."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.cloud.types import AvailabilityZone, InstanceType
+from repro.sim.random import RngStream
+
+__all__ = ["InstanceState", "Instance", "HeterogeneityModel", "InstanceError"]
+
+
+class InstanceError(RuntimeError):
+    """Illegal lifecycle transition or misuse of a terminated instance."""
+
+
+class InstanceState(enum.Enum):
+    """EC2 lifecycle states; only RUNNING time is billable (§3.1)."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    SHUTTING_DOWN = "shutting-down"
+    TERMINATED = "terminated"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class HeterogeneityModel:
+    """Distribution of hidden per-instance quality.
+
+    "Small instances are relatively stable over time, but different
+    instances can exhibit performance of up to 4 times from each other"
+    (Dejun et al., cited in §6); the paper itself "observe[s] instances
+    behaving consistently slow or fast" (§3.1).  Quality is drawn once at
+    launch and never changes — consistency is the point.
+    """
+
+    p_slow: float = 0.12          # noticeably slow instances
+    p_very_slow: float = 0.04     # the 3-4x stragglers
+    good_sigma: float = 0.04      # jitter among good instances
+    slow_range: tuple[float, float] = (0.5, 0.8)
+    very_slow_range: tuple[float, float] = (0.25, 0.5)
+
+    def draw_factor(self, rng: RngStream) -> float:
+        """One hidden speed factor (1.0 = reference)."""
+        u = rng.uniform()
+        if u < self.p_very_slow:
+            return rng.uniform(*self.very_slow_range)
+        if u < self.p_very_slow + self.p_slow:
+            return rng.uniform(*self.slow_range)
+        return max(0.8, rng.normal(1.0, self.good_sigma))
+
+
+#: Disk/network speed spreads widely across small instances (the bonnie++
+#: vetting exists precisely because of this; Fig. 5/Fig. 6 variability).
+IO_HETEROGENEITY = HeterogeneityModel()
+
+#: CPU spread on small instances is milder: stragglers exist but run at
+#: ~0.5–0.9× rather than 0.25× — deadline misses in Figs. 8–9 are marginal
+#: overshoots, not 3× blowouts.
+CPU_HETEROGENEITY = HeterogeneityModel(
+    p_slow=0.10, p_very_slow=0.02,
+    slow_range=(0.72, 0.90), very_slow_range=(0.5, 0.72),
+)
+
+
+@dataclass
+class Instance:
+    """One virtual machine.
+
+    ``cpu_factor`` / ``io_factor`` are the hidden ground truth (1.0 =
+    reference speed); user-facing code must estimate them via bonnie probes
+    or observed throughput, never read them.  ``ready_at`` is the simulated
+    time at which the instance leaves PENDING.
+    """
+
+    instance_id: str
+    itype: InstanceType
+    zone: AvailabilityZone
+    cpu_factor: float
+    io_factor: float
+    launched_at: float
+    boot_delay: float
+    state: InstanceState = InstanceState.PENDING
+    running_since: float | None = None
+    terminated_at: float | None = None
+    attached_volumes: list = field(default_factory=list)
+    #: RUNNING seconds until a hardware crash (None = never fails).
+    time_to_failure: float | None = None
+
+    @property
+    def ready_at(self) -> float:
+        return self.launched_at + self.boot_delay
+
+    @property
+    def crash_at(self) -> float | None:
+        """Absolute simulated time of the crash, once RUNNING."""
+        if self.time_to_failure is None or self.running_since is None:
+            return None
+        return self.running_since + self.time_to_failure
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def mark_running(self, now: float) -> None:
+        """PENDING -> RUNNING once the boot delay has elapsed."""
+        if self.state is not InstanceState.PENDING:
+            raise InstanceError(f"{self.instance_id}: cannot start from {self.state}")
+        if now < self.ready_at:
+            raise InstanceError(
+                f"{self.instance_id}: still booting until t={self.ready_at:.1f}"
+            )
+        self.state = InstanceState.RUNNING
+        self.running_since = now
+
+    def fail(self, now: float) -> None:
+        """Hardware crash: instance-store contents are lost, EBS survives."""
+        if self.state is not InstanceState.RUNNING:
+            raise InstanceError(f"{self.instance_id}: cannot fail from {self.state}")
+        self.state = InstanceState.FAILED
+        self.terminated_at = now
+        for vol in list(self.attached_volumes):
+            vol.detach()
+
+    def terminate(self, now: float) -> None:
+        """Enter TERMINATED; detaches any EBS volumes."""
+        if self.state in (InstanceState.TERMINATED, InstanceState.FAILED):
+            raise InstanceError(f"{self.instance_id}: already terminated")
+        if self.state is InstanceState.RUNNING and now < (self.running_since or 0.0):
+            raise InstanceError("termination before start")
+        self.state = InstanceState.TERMINATED
+        self.terminated_at = now
+        for vol in list(self.attached_volumes):
+            vol.detach()
+
+    @property
+    def billable_interval(self) -> tuple[float, float] | None:
+        """The RUNNING interval (payment is due only while running, §3.1)."""
+        if self.running_since is None:
+            return None
+        end = self.terminated_at if self.terminated_at is not None else float("inf")
+        return (self.running_since, end)
+
+    def require_running(self) -> None:
+        """Raise unless the instance is RUNNING."""
+        if self.state is not InstanceState.RUNNING:
+            raise InstanceError(f"{self.instance_id} is {self.state.value}, not running")

@@ -1,0 +1,87 @@
+"""A Simple-Storage-Service-like object store (§1.1).
+
+"Users can store an unlimited number of objects each of size of up to
+5 GB.  Multiple instances can access this storage in parallel with low
+latency, which is however higher and more variable than that for EBS
+storage volumes."  The experiments stage results through S3 in the
+retrieval example, so put/get latency modelling is enough.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.random import RngStream
+from repro.units import GB, MB
+
+__all__ = ["S3Object", "S3Store", "S3Error", "MAX_OBJECT_SIZE"]
+
+MAX_OBJECT_SIZE = 5 * GB
+
+
+class S3Error(RuntimeError):
+    """Object-store misuse (oversized object, missing key)."""
+
+
+@dataclass(frozen=True)
+class S3Object:
+    key: str
+    size: int
+    region_name: str
+
+
+@dataclass
+class S3Store:
+    """Region-scoped object store with variable transfer latency.
+
+    ``transfer_time`` draws per-request latency: a base round-trip plus a
+    bandwidth term, both noisier than EBS (lognormal multiplier).
+    """
+
+    region_name: str
+    base_latency: float = 0.08          # seconds per request
+    bandwidth: float = 40 * MB          # bytes/s sustained
+    latency_sigma: float = 0.35         # request-to-request variability
+    _objects: dict[str, S3Object] = field(default_factory=dict)
+
+    def put(self, key: str, size: int) -> S3Object:
+        """Store an object (size-checked against the 5 GB cap)."""
+        if not key:
+            raise S3Error("empty key")
+        if size < 0 or size > MAX_OBJECT_SIZE:
+            raise S3Error(f"object size {size} outside [0, {MAX_OBJECT_SIZE}]")
+        obj = S3Object(key=key, size=size, region_name=self.region_name)
+        self._objects[key] = obj
+        return obj
+
+    def get(self, key: str) -> S3Object:
+        """Look up an object by key."""
+        if key not in self._objects:
+            raise S3Error(f"no such object: {key!r}")
+        return self._objects[key]
+
+    def delete(self, key: str) -> None:
+        """Remove an object if present (idempotent)."""
+        self._objects.pop(key, None)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._objects
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def transfer_time(self, size: int, rng: RngStream) -> float:
+        """Seconds to move ``size`` bytes in or out of the store."""
+        if size < 0:
+            raise S3Error("negative transfer size")
+        base = self.base_latency + size / self.bandwidth
+        return base * rng.lognormal(0.0, self.latency_sigma)
+
+    def retrieval_time(self, keys: list[str], rng: RngStream) -> float:
+        """Total time to fetch many result objects sequentially.
+
+        Output segmentation is why reshaping "speeds up the task of
+        retrieving the results" (§1): per-request latency dominates when
+        results are scattered across many small objects.
+        """
+        return sum(self.transfer_time(self.get(k).size, rng) for k in keys)

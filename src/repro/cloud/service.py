@@ -1,0 +1,93 @@
+"""Execution service: charge an application run against an instance.
+
+This is the boundary between the hidden ground truth and the empirical
+world.  A *measured time* returned by :meth:`ExecutionService.run` folds
+together:
+
+* the workload profile's reference-time breakdown (setup / io / cpu),
+* the instance's hidden cpu/io factors (heterogeneity, §3.1),
+* the EBS placement factor of the directory being read (Fig. 5 spikes),
+* per-run setup jitter (unstable small probes, Fig. 3),
+* multiplicative measurement noise.
+
+Everything above the cloud (perfmodel, planner) sees only these times —
+exactly the observational position the paper's user is in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from repro.apps.base import TextApplication, Unit, as_unit_meta
+from repro.apps.profiles import GrepCostProfile, PosCostProfile
+from repro.cloud.cluster import Cloud
+from repro.cloud.ebs import EbsVolume
+from repro.cloud.instance import Instance
+
+__all__ = ["Workload", "ExecutionService"]
+
+Profile = Union[GrepCostProfile, PosCostProfile]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """An application paired with its ground-truth cost profile."""
+
+    name: str
+    app: TextApplication
+    profile: Profile
+
+
+class ExecutionService:
+    """Runs workloads on cloud instances and reports measured seconds."""
+
+    def __init__(self, cloud: Cloud, noise_sigma: float = 0.02) -> None:
+        if noise_sigma < 0:
+            raise ValueError("noise_sigma must be non-negative")
+        self.cloud = cloud
+        self.noise_sigma = noise_sigma
+        self._run_counts: dict[str, int] = {}
+
+    def run(
+        self,
+        instance: Instance,
+        units: Sequence[Unit],
+        workload: Workload,
+        *,
+        storage: EbsVolume | None = None,
+        directory: str = "data",
+        advance_clock: bool = True,
+    ) -> float:
+        """Execute ``workload`` over ``units``; return measured seconds.
+
+        With ``storage`` given, I/O time is scaled by that volume's
+        placement factor for ``directory`` (the volume must be attached to
+        ``instance``).  With ``advance_clock`` the cloud clock moves by the
+        measured duration, so billing sees the usage.
+        """
+        instance.require_running()
+        if storage is not None and storage.attached_to is not instance:
+            raise ValueError(
+                f"{storage.volume_id} is not attached to {instance.instance_id}"
+            )
+        meta = [as_unit_meta(u) for u in units]
+        work = workload.app.estimate_work(meta)
+        breakdown = workload.profile.breakdown(meta, matches=work.matches)
+
+        n = self._run_counts.get(instance.instance_id, 0)
+        self._run_counts[instance.instance_id] = n + 1
+        rng = self.cloud.rng.fork(f"exec.{instance.instance_id}.{n}")
+
+        setup = workload.profile.draw_setup(rng.fork("setup"))
+        storage_factor = storage.placement_factor(directory) if storage is not None else 1.0
+        t = (
+            setup
+            + breakdown.io * storage_factor / instance.io_factor
+            + breakdown.cpu / instance.cpu_factor
+        )
+        if self.noise_sigma:
+            t *= rng.fork("noise").lognormal(0.0, self.noise_sigma)
+        if advance_clock:
+            self.cloud.advance(t)
+        return t

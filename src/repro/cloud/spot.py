@@ -1,0 +1,101 @@
+"""Spot-instance market (§1.1 background; extension beyond the core paper).
+
+"The price for these instances depends on current supply/demand conditions
+in the Amazon cloud.  The user can specify a maximum amount she is willing
+to pay … and configure her instance to execute whenever this maximum bid
+becomes higher than the current market offer."  The paper sticks to
+on-demand instances because of deadlines; we model the market anyway so the
+cost/deadline trade-off can be explored (see
+``benchmarks/test_spot_extension.py`` and ``examples/spot_market.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.random import RngStream
+
+__all__ = ["SpotMarket", "SpotRequest"]
+
+
+@dataclass
+class SpotMarket:
+    """Hourly mean-reverting spot price process.
+
+    ``price(h)`` for integer hour ``h`` follows an Ornstein–Uhlenbeck-like
+    recursion around ``mean_price``, floored at ``floor``.  Deterministic
+    in the seed; prices are cached so queries are idempotent.
+    """
+
+    rng: RngStream
+    mean_price: float = 0.04        # typical 2010 small-instance spot price
+    reversion: float = 0.35
+    volatility: float = 0.012
+    floor: float = 0.01
+    start_price: float | None = None
+    _prices: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.reversion <= 1:
+            raise ValueError("reversion must be in (0, 1]")
+        if self.mean_price <= 0 or self.floor < 0:
+            raise ValueError("prices must be positive")
+
+    def price(self, hour: int) -> float:
+        """Spot price during wall-clock hour ``hour`` (0-based)."""
+        if hour < 0:
+            raise ValueError("hour must be non-negative")
+        while len(self._prices) <= hour:
+            if not self._prices:
+                p = self.start_price if self.start_price is not None else self.mean_price
+            else:
+                prev = self._prices[-1]
+                shock = self.rng.normal(0.0, self.volatility)
+                p = prev + self.reversion * (self.mean_price - prev) + shock
+            self._prices.append(max(self.floor, p))
+        return self._prices[hour]
+
+    def prices(self, hours: int) -> list[float]:
+        """The first ``hours`` hourly prices."""
+        return [self.price(h) for h in range(hours)]
+
+
+@dataclass(frozen=True)
+class SpotRequest:
+    """A persistent spot request at a fixed maximum bid."""
+
+    bid: float
+
+    def __post_init__(self) -> None:
+        if self.bid <= 0:
+            raise ValueError("bid must be positive")
+
+    def active_hours(self, market: SpotMarket, horizon_hours: int) -> list[int]:
+        """Hours within the horizon during which the instance would run."""
+        return [h for h in range(horizon_hours) if market.price(h) <= self.bid]
+
+    def simulate_progress(
+        self, market: SpotMarket, horizon_hours: int, work_hours: float
+    ) -> dict:
+        """Run ``work_hours`` of resumable computation on spot capacity.
+
+        Returns completion hour (or None), hours of paid compute and total
+        cost.  Applications "are required to be able to resume cleanly"
+        (§1.1): progress simply accumulates over active hours.
+        """
+        if work_hours < 0:
+            raise ValueError("work must be non-negative")
+        done = 0.0
+        cost = 0.0
+        paid_hours = 0
+        for h in range(horizon_hours):
+            price = market.price(h)
+            if price <= self.bid:
+                cost += price
+                paid_hours += 1
+                done += 1.0
+                if done >= work_hours:
+                    return {"completed_hour": h + 1, "paid_hours": paid_hours,
+                            "cost": cost, "done": True}
+        return {"completed_hour": None, "paid_hours": paid_hours,
+                "cost": cost, "done": work_hours == 0}

@@ -1,0 +1,79 @@
+"""Data staging: moving corpora into the cloud (§5's staging assumptions).
+
+The paper assumes grep data is pre-staged on EBS volumes and that POS data
+"can be staged onto local storage in a constant time per run (assuming
+that the bottleneck is the maximum throughput available at the upload
+site)".  This module makes those assumptions explicit and checkable: an
+upload site has a fixed egress capacity that parallel instance downloads
+share, so stage-in time is volume-bound, not fleet-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.random import RngStream
+from repro.units import MB
+
+__all__ = ["UploadSite", "StagePlan"]
+
+
+@dataclass(frozen=True)
+class UploadSite:
+    """The user's data source with a bounded egress pipe."""
+
+    egress_bandwidth: float = 30 * MB      # bytes/s total, shared
+    per_instance_cap: float = 20 * MB      # bytes/s one instance can ingest
+    setup_latency: float = 2.0             # connection/handshake per transfer
+
+    def __post_init__(self) -> None:
+        if self.egress_bandwidth <= 0 or self.per_instance_cap <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.setup_latency < 0:
+            raise ValueError("latency must be non-negative")
+
+    def stage_in_time(self, volume: int, n_instances: int,
+                      rng: RngStream | None = None) -> float:
+        """Seconds to push ``volume`` bytes to ``n_instances`` in parallel.
+
+        Below the saturation point, adding instances helps (each gets its
+        own capped stream); beyond it, the upload site is the bottleneck
+        and stage-in is "a constant time per run" in the fleet size —
+        exactly the §5 modelling assumption.
+        """
+        if volume < 0:
+            raise ValueError("volume must be non-negative")
+        if n_instances < 1:
+            raise ValueError("need at least one instance")
+        if volume == 0:
+            return 0.0
+        effective = min(self.egress_bandwidth,
+                        n_instances * self.per_instance_cap)
+        t = self.setup_latency + volume / effective
+        if rng is not None:
+            t *= rng.lognormal(0.0, 0.05)
+        return t
+
+    def saturation_fleet(self) -> int:
+        """Fleet size beyond which more instances no longer help."""
+        import math
+
+        return math.ceil(self.egress_bandwidth / self.per_instance_cap)
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    """Stage-in accounting attached to an execution plan."""
+
+    volume: int
+    n_instances: int
+    stage_seconds: float
+
+    def effective_deadline(self, deadline: float) -> float:
+        """Processing budget left after staging."""
+        remaining = deadline - self.stage_seconds
+        if remaining <= 0:
+            raise ValueError(
+                f"staging alone ({self.stage_seconds:.0f}s) exceeds the "
+                f"deadline ({deadline:.0f}s)")
+        return remaining

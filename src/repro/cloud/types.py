@@ -1,0 +1,81 @@
+"""Instance types, regions and availability zones (§1.1 background)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.units import GB, MB
+
+__all__ = ["InstanceType", "Region", "AvailabilityZone", "SMALL", "LARGE", "US_EAST",
+           "US_WEST", "EU_WEST"]
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """An EC2 instance class.
+
+    ``hourly_rate`` is charged per hour *or partial hour* of RUNNING time —
+    the pricing quirk that shapes the whole §5 provisioning strategy.
+    Reference hardware factors are 1.0 for the small instance; the paper's
+    measurements (and ours) are all small-instance based.
+    """
+
+    name: str
+    compute_units: float        # EC2 compute units (1.0–1.2 GHz 2007 Opteron)
+    memory_gb: float
+    local_storage_gb: int
+    hourly_rate: float          # USD per (partial) hour
+    arch_bits: int = 32
+    base_disk_bandwidth: float = 85 * MB  # block read on a good instance
+
+    def __post_init__(self) -> None:
+        if self.hourly_rate <= 0 or self.compute_units <= 0:
+            raise ValueError("instance type must have positive rate and compute")
+
+
+#: The paper's workhorse: "a basic Amazon EC2 32-bit small instance running
+#: Fedora Core 8 … 1.7 GB memory, 1 EC2 compute unit, 160 GB local storage"
+#: at $0.085/h (the §5 figure; §3.1 quotes the earlier $0.10 price point).
+SMALL = InstanceType(
+    name="m1.small", compute_units=1.0, memory_gb=1.7,
+    local_storage_gb=160, hourly_rate=0.085,
+)
+
+LARGE = InstanceType(
+    name="m1.large", compute_units=4.0, memory_gb=7.5,
+    local_storage_gb=850, hourly_rate=0.34, arch_bits=64,
+)
+
+
+@dataclass(frozen=True)
+class AvailabilityZone:
+    """A failure-isolated zone within a region (e.g. ``us-east-1a``)."""
+
+    name: str
+    region_name: str
+
+
+@dataclass(frozen=True)
+class Region:
+    """An independent EC2 region with its availability zones."""
+
+    name: str
+    zones: tuple[AvailabilityZone, ...] = field(default_factory=tuple)
+
+    def zone(self, suffix: str) -> AvailabilityZone:
+        """Zone in this region whose name ends with ``suffix``."""
+        for z in self.zones:
+            if z.name.endswith(suffix):
+                return z
+        raise KeyError(f"no zone {suffix!r} in region {self.name}")
+
+
+def _region(name: str, suffixes: str) -> Region:
+    return Region(name=name, zones=tuple(
+        AvailabilityZone(name=f"{name}-1{s}", region_name=name) for s in suffixes
+    ))
+
+
+US_EAST = _region("us-east", "abcd")
+US_WEST = _region("us-west", "ab")
+EU_WEST = _region("eu-west", "ab")

@@ -1,0 +1,86 @@
+"""Data reshaping: merge small files into preferred-size unit files (§1, §4).
+
+"Using the subset-sum first fit heuristic we reshape the input data by
+merging files in order to match as closely as possible the desired file
+size."  The output is a catalogue of :class:`~repro.vfs.Segment` unit files
+that any text application can consume unmodified (concatenation is
+transparent to grep and the tagger).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.base import Unit
+from repro.packing import subset_sum_first_fit
+from repro.vfs.files import Catalogue, Segment
+
+__all__ = ["ReshapePlan", "reshape"]
+
+
+@dataclass(frozen=True)
+class ReshapePlan:
+    """The result of reshaping a catalogue.
+
+    ``unit_size`` of ``None`` means the original segmentation was kept (the
+    Fig. 7 outcome for the POS workload).
+    """
+
+    unit_size: int | None
+    units: tuple[Unit, ...]
+    n_input_files: int
+
+    @property
+    def n_units(self) -> int:
+        return len(self.units)
+
+    @property
+    def total_size(self) -> int:
+        return sum(u.size for u in self.units)
+
+    def fill_stats(self) -> dict:
+        """How closely unit files match the desired size."""
+        if self.unit_size is None or not self.units:
+            return {"target": self.unit_size, "mean_fill": None, "min_fill": None}
+        fills = np.array([min(1.0, u.size / self.unit_size) for u in self.units])
+        return {
+            "target": self.unit_size,
+            "mean_fill": float(fills.mean()),
+            "min_fill": float(fills.min()),
+            "oversized_units": int(sum(u.size > self.unit_size for u in self.units)),
+        }
+
+
+def reshape(
+    catalogue: Catalogue,
+    unit_size: int | None,
+    *,
+    preserve_order: bool = True,
+    name_prefix: str = "reshaped",
+) -> ReshapePlan:
+    """Merge ``catalogue`` into unit files of ≈``unit_size`` bytes.
+
+    ``unit_size=None`` (or the string label ``"orig"`` upstream) keeps the
+    original files untouched.  With ``preserve_order`` the paper's §5.2
+    choice is honoured: files are considered "in the order in which they
+    are provided" rather than sorted descending, to avoid front-loading
+    large files.
+    """
+    if unit_size is None:
+        return ReshapePlan(unit_size=None, units=tuple(catalogue),
+                           n_input_files=len(catalogue))
+    if unit_size <= 0:
+        raise ValueError("unit size must be positive")
+    by_path = {f.path: f for f in catalogue}
+    bins = subset_sum_first_fit(catalogue.items(), unit_size,
+                                preserve_order=preserve_order)
+    units = tuple(
+        Segment(name=f"{name_prefix}/unit{i:06d}",
+                members=tuple(by_path[it.key] for it in b.items))
+        for i, b in enumerate(bins)
+        if b.items
+    )
+    return ReshapePlan(unit_size=unit_size, units=units,
+                       n_input_files=len(catalogue))

@@ -1,0 +1,39 @@
+"""Synthetic corpus substrate.
+
+Generates catalogues that statistically match the paper's two data sets
+(Fig. 1), plus equal-length novels of different linguistic complexity for
+the Dubliners / Agnes Grey experiment (§5.2):
+
+* :func:`repro.corpus.datasets.html_18mil_like` — the NewsLab HTML crawl:
+  long-tailed sizes, majority < 50 kB, maximum 43 MB, HTML markup.
+* :func:`repro.corpus.datasets.text_400k_like` — extracted plain text:
+  majority < 5 kB, maximum 705 kB.
+* :func:`repro.corpus.text.synthesize_novel` — fixed word count, tunable
+  sentence complexity.
+
+Everything is deterministic in the seed and lazily materialisable through
+:mod:`repro.vfs`.
+"""
+
+from repro.corpus.datasets import (
+    agnes_grey_like,
+    dubliners_like,
+    html_18mil_like,
+    mixed_domain_like,
+    text_400k_like,
+)
+from repro.corpus.distributions import LongTailSizeDistribution
+from repro.corpus.text import TextProfile, generate_text, render_virtual_file, synthesize_novel
+
+__all__ = [
+    "LongTailSizeDistribution",
+    "TextProfile",
+    "generate_text",
+    "render_virtual_file",
+    "synthesize_novel",
+    "html_18mil_like",
+    "text_400k_like",
+    "mixed_domain_like",
+    "dubliners_like",
+    "agnes_grey_like",
+]

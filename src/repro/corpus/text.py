@@ -1,0 +1,247 @@
+"""Deterministic synthetic English-like text generation.
+
+The POS tagger and grep are *real* programs in this reproduction, so probe
+files must contain actual text with controllable statistics.  The generator
+composes words from a closed function-word list plus open-class words built
+from syllables, producing sentences whose length distribution follows the
+profile.  Complexity knobs:
+
+``avg_sentence_words``
+    the paper's key POS cost driver ("average sentence length is an
+    important parameter for POS tagging", §5.2);
+``subordinate_rate``
+    how often clauses are chained with commas/conjunctions (longer
+    dependency spans — the "Dubliners" effect);
+``vocab_richness``
+    Zipf-ish spread of the open-class vocabulary.
+
+HTML mode wraps paragraphs in minimal markup so the NewsLab-like corpus
+really is HTML, as consumed by grep in §5.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import lru_cache
+
+from repro.sim.random import RngStream
+from repro.vfs.files import TextStats, VirtualFile
+
+__all__ = ["TextProfile", "generate_text", "synthesize_novel", "render_virtual_file",
+           "NEWS_PROFILE", "SIMPLE_NOVEL_PROFILE", "COMPLEX_NOVEL_PROFILE"]
+
+# Closed-class (function) words: always present, tagged by lookup.
+_DETERMINERS = ["the", "a", "an", "this", "that", "these", "those"]
+_PRONOUNS = ["he", "she", "it", "they", "we", "you", "i"]
+_PREPOSITIONS = ["of", "in", "on", "at", "by", "with", "from", "under", "over"]
+_CONJUNCTIONS = ["and", "but", "or", "while", "because", "although"]
+_AUXILIARIES = ["is", "was", "are", "were", "has", "had", "will", "would"]
+
+# Syllable inventory for open-class word construction.
+_ONSETS = ["b", "c", "d", "f", "g", "l", "m", "n", "p", "r", "s", "t", "v", "st", "tr", "pl"]
+_NUCLEI = ["a", "e", "i", "o", "u", "ai", "ea", "ou"]
+_CODAS = ["", "n", "r", "s", "t", "l", "nd", "st", "ck"]
+
+_NOUN_SUFFIXES = ["tion", "ment", "ness", "er", "ist", "ism"]
+_VERB_SUFFIXES = ["ize", "ate", "ify"]
+_ADJ_SUFFIXES = ["ous", "ful", "ive", "al", "able"]
+_ADV_SUFFIX = "ly"
+
+
+@dataclass(frozen=True)
+class TextProfile:
+    """Generation parameters for a body of text."""
+
+    avg_sentence_words: float = 18.0
+    sentence_words_sd: float = 6.0
+    subordinate_rate: float = 0.25
+    vocab_richness: float = 1.0  # Zipf exponent-ish; higher = richer
+    html: bool = False
+
+    def __post_init__(self) -> None:
+        if self.avg_sentence_words < 2:
+            raise ValueError("sentences need at least 2 words on average")
+        if not 0 <= self.subordinate_rate <= 1:
+            raise ValueError("subordinate_rate must be in [0, 1]")
+
+    def stats(self, avg_word_len: float = 5.2) -> TextStats:
+        """The metadata a file generated with this profile will carry."""
+        return TextStats(
+            avg_word_len=avg_word_len,
+            avg_sentence_words=self.avg_sentence_words,
+            markup_fraction=0.18 if self.html else 0.0,
+        )
+
+
+NEWS_PROFILE = TextProfile(avg_sentence_words=19.0, subordinate_rate=0.3, html=True)
+SIMPLE_NOVEL_PROFILE = TextProfile(avg_sentence_words=13.0, sentence_words_sd=4.0,
+                                   subordinate_rate=0.15, vocab_richness=0.8)
+COMPLEX_NOVEL_PROFILE = TextProfile(avg_sentence_words=27.0, sentence_words_sd=11.0,
+                                    subordinate_rate=0.55, vocab_richness=1.4)
+
+
+@lru_cache(maxsize=8)
+def _open_class_vocab(richness_key: int) -> dict[str, list[str]]:
+    """Build a deterministic open-class vocabulary, cached per richness tier.
+
+    Vocabulary construction uses its own fixed-seed stream so the same words
+    exist no matter which experiment asks first.
+    """
+    rng = RngStream(0xC0FFEE + richness_key, name=f"vocab.{richness_key}")
+    n_base = 400 + 250 * richness_key
+
+    def make_stem() -> str:
+        syllables = rng.integer(1, 3)
+        return "".join(
+            rng.choice(_ONSETS) + rng.choice(_NUCLEI) + rng.choice(_CODAS)
+            for _ in range(syllables)
+        )
+
+    nouns = sorted({make_stem() + rng.choice(_NOUN_SUFFIXES) for _ in range(n_base)})
+    verbs = sorted({make_stem() + rng.choice(_VERB_SUFFIXES) for _ in range(n_base // 2)})
+    adjs = sorted({make_stem() + rng.choice(_ADJ_SUFFIXES) for _ in range(n_base // 2)})
+    advs = sorted({a + _ADV_SUFFIX for a in adjs[: n_base // 4]})
+    plain_nouns = sorted({make_stem() for _ in range(n_base)})
+    return {
+        "noun": nouns + plain_nouns,
+        "verb": verbs + [v + "ed" for v in verbs[: n_base // 4]],
+        "adj": adjs,
+        "adv": advs,
+    }
+
+
+def _pick_zipf(rng: RngStream, words: list[str], richness: float) -> str:
+    """Zipf-like pick: low ranks much more likely; richness flattens it."""
+    u = rng.uniform(1e-9, 1.0)
+    idx = int(len(words) * u ** (1.0 + 1.0 / max(richness, 0.1))) % len(words)
+    return words[idx]
+
+
+def _clause(rng: RngStream, n_words: int, vocab: dict[str, list[str]], richness: float) -> list[str]:
+    """One clause of roughly ``n_words`` words with NP-VP-ish structure."""
+    out: list[str] = []
+    out.append(rng.choice(_DETERMINERS))
+    if rng.uniform() < 0.4:
+        out.append(_pick_zipf(rng, vocab["adj"], richness))
+    out.append(_pick_zipf(rng, vocab["noun"], richness))
+    if rng.uniform() < 0.5:
+        out.append(rng.choice(_AUXILIARIES))
+    out.append(_pick_zipf(rng, vocab["verb"], richness))
+    while len(out) < n_words:
+        r = rng.uniform()
+        if r < 0.35:
+            out.append(rng.choice(_PREPOSITIONS))
+            out.append(rng.choice(_DETERMINERS))
+            out.append(_pick_zipf(rng, vocab["noun"], richness))
+        elif r < 0.5:
+            out.append(_pick_zipf(rng, vocab["adv"], richness))
+            out.append(_pick_zipf(rng, vocab["verb"], richness))
+        elif r < 0.65:
+            out.append(rng.choice(_PRONOUNS))
+            out.append(_pick_zipf(rng, vocab["verb"], richness))
+        else:
+            if rng.uniform() < 0.4:
+                out.append(_pick_zipf(rng, vocab["adj"], richness))
+            out.append(_pick_zipf(rng, vocab["noun"], richness))
+    return out[: max(n_words, 2)]
+
+
+def _sentence(rng: RngStream, profile: TextProfile, vocab: dict[str, list[str]]) -> str:
+    target = max(2, int(round(rng.normal(profile.avg_sentence_words, profile.sentence_words_sd))))
+    words: list[str] = []
+    remaining = target
+    first = True
+    while remaining > 0:
+        clause_len = remaining
+        if not first or (rng.uniform() < profile.subordinate_rate and remaining >= 8):
+            clause_len = max(4, remaining // 2)
+        words_c = _clause(rng, clause_len, vocab, profile.vocab_richness)
+        if not first:
+            joiner = rng.choice(_CONJUNCTIONS)
+            words.append("," if rng.uniform() < 0.5 else "")
+            words = [w for w in words if w]
+            words.append(joiner)
+        words.extend(words_c)
+        remaining = target - len(words)
+        first = False
+        if rng.uniform() > profile.subordinate_rate:
+            break
+    text = " ".join(w for w in words if w)
+    text = text[0].upper() + text[1:]
+    return text + rng.choice([".", ".", ".", "?", "!"])
+
+
+def generate_text(rng: RngStream, n_bytes: int, profile: TextProfile | None = None) -> str:
+    """Generate ≈``n_bytes`` of text (exact to the byte after trim/pad)."""
+    profile = profile or TextProfile()
+    if n_bytes <= 0:
+        return ""
+    richness_key = min(3, max(0, int(profile.vocab_richness)))
+    vocab = _open_class_vocab(richness_key)
+    pieces: list[str] = []
+    size = 0
+    if profile.html:
+        head = "<html><head><title>article</title></head><body>\n"
+        pieces.append(head)
+        size += len(head)
+    while size < n_bytes:
+        para: list[str] = []
+        for _ in range(rng.integer(2, 5)):
+            s = _sentence(rng, profile, vocab)
+            para.append(s)
+        block = " ".join(para)
+        if profile.html:
+            block = f"<p>{block}</p>\n"
+        else:
+            block += "\n\n"
+        pieces.append(block)
+        size += len(block)
+    text = "".join(pieces)
+    if profile.html:
+        text += "</body></html>"
+    # Exact sizing: trim, or pad with spaces (whitespace is inert for both
+    # grep and the tagger).
+    if len(text) > n_bytes:
+        text = text[:n_bytes]
+    elif len(text) < n_bytes:
+        text = text + " " * (n_bytes - len(text))
+    return text
+
+
+def synthesize_novel(
+    rng: RngStream, n_words: int, profile: TextProfile
+) -> str:
+    """Generate a text with an exact word count (the novels experiment).
+
+    The Dubliners/Agnes Grey comparison holds word count fixed (±300 words
+    in the paper) while complexity varies, so this entry point counts words
+    rather than bytes.
+    """
+    if n_words <= 0:
+        return ""
+    richness_key = min(3, max(0, int(profile.vocab_richness)))
+    vocab = _open_class_vocab(richness_key)
+    sentences: list[str] = []
+    count = 0
+    while count < n_words:
+        s = _sentence(rng, profile, vocab)
+        sentences.append(s)
+        count += len(s.split())
+    text = " ".join(sentences)
+    words = text.split()
+    return " ".join(words[:n_words])
+
+
+def render_virtual_file(vf: VirtualFile) -> bytes:
+    """Default renderer installed by :meth:`VirtualFile.materialize`.
+
+    Reconstructs a profile from the file's carried statistics, seeds a
+    dedicated stream from ``content_seed``, and emits exactly ``vf.size``
+    bytes (ASCII, so byte count == character count).
+    """
+    profile = TextProfile(
+        avg_sentence_words=max(2.0, vf.stats.avg_sentence_words),
+        html=vf.stats.markup_fraction > 0,
+    )
+    rng = RngStream(vf.content_seed, name=f"render.{vf.path}")
+    return generate_text(rng, vf.size, profile).encode("ascii")

@@ -1,0 +1,18 @@
+"""Regeneration code for every figure and headline number in the paper.
+
+One module per figure group; each public function returns a
+:class:`~repro.report.figures.FigureResult` (plus structured outcome
+dictionaries) that the corresponding ``benchmarks/`` file prints and
+asserts on.  Scales are reduced from the paper's 100 GB/900 GB testbed to
+laptop-friendly volumes — the shapes under test (who wins, by what factor,
+where crossovers fall) are volume-ratio driven and survive the scaling;
+EXPERIMENTS.md records paper-vs-measured for each.
+"""
+
+from repro.experiments import exp_fig1 as fig1
+from repro.experiments import exp_fig2 as fig2
+from repro.experiments import exp_grep as grep
+from repro.experiments import exp_pos as pos
+from repro.experiments import exp_side as side
+
+__all__ = ["fig1", "fig2", "grep", "pos", "side"]

@@ -1,0 +1,50 @@
+"""Figure 1: file-size frequency distributions of the two data sets."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.corpus import html_18mil_like, text_400k_like
+from repro.report.figures import FigureResult
+from repro.units import KB
+
+__all__ = ["fig1a", "fig1b"]
+
+
+def fig1a(scale: float = 2e-3, seed: int = 2010) -> tuple[FigureResult, dict]:
+    """Fig. 1(a): HTML_18mil size histogram, 10 kB bins, shown to 300 kB."""
+    cat = html_18mil_like(scale=scale, seed=seed)
+    edges, counts = cat.size_histogram(bin_width=10 * KB, max_size=300 * KB)
+    fig = FigureResult("Fig1a", "HTML_18mil-like size distribution (10 kB bins)")
+    fig.add("files per 10 kB bin", [int(e) for e in edges[:-1]], counts)
+    sizes = np.array([f.size for f in cat])
+    stats = {
+        "files": len(cat),
+        "total_gb": cat.total_size / 1e9,
+        "frac_under_50kb": float((sizes < 50 * KB).mean()),
+        "max_mb": cat.max_file_size / 1e6,
+        "mean_kb": float(sizes.mean()) / KB,
+        "tail_ratio": float(sizes.mean() / np.median(sizes)),
+    }
+    fig.note(f"{stats['files']} files, {stats['frac_under_50kb']:.0%} under 50 kB, "
+             f"max {stats['max_mb']:.0f} MB (paper: majority <50 kB, max 43 MB)")
+    return fig, stats
+
+
+def fig1b(scale: float = 1e-2, seed: int = 2011) -> tuple[FigureResult, dict]:
+    """Fig. 1(b): Text_400K size histogram, 1 kB bins, shown to 160 kB."""
+    cat = text_400k_like(scale=scale, seed=seed)
+    edges, counts = cat.size_histogram(bin_width=1 * KB, max_size=160 * KB)
+    fig = FigureResult("Fig1b", "Text_400K-like size distribution (1 kB bins)")
+    fig.add("files per 1 kB bin", [int(e) for e in edges[:-1]], counts)
+    sizes = np.array([f.size for f in cat])
+    stats = {
+        "files": len(cat),
+        "total_gb_at_full_scale": float(sizes.mean()) * 400_000 / 1e9,
+        "frac_under_1kb": float((sizes < 1 * KB).mean()),
+        "frac_under_5kb": float((sizes < 5 * KB).mean()),
+        "max_kb": cat.max_file_size / KB,
+    }
+    fig.note(f"{stats['frac_under_1kb']:.0%} under 1 kB (paper: >40%), "
+             f"max {stats['max_kb']:.0f} kB (paper: 705 kB)")
+    return fig, stats

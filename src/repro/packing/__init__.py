@@ -1,0 +1,45 @@
+"""Bin-packing heuristics used to reshape text corpora.
+
+The paper merges many small files into unit files of a preferred size using
+the *subset-sum first-fit* heuristic (Vazirani, Introduction to Approximation
+Algorithms), and distributes data across EC2 instances with first-fit in
+original order or with uniform (balanced) bins.  This package implements all
+of those, plus first-fit-decreasing for the ablation in §5.2 of the paper
+(sorted order gives fuller bins but front-loads large files, which hurts the
+memory-bound POS tagger).
+
+Public API
+----------
+- :class:`Item`, :class:`Bin` — value objects.
+- :func:`first_fit` / :func:`first_fit_decreasing` — classic capacitated
+  packing into an open-ended list of bins.
+- :func:`pack_into_n_bins` — first-fit into a *fixed* number of bins
+  (capacity = prescribed per-instance volume).
+- :func:`uniform_bins` — balanced round-robin packing into ``n`` bins.
+- :func:`subset_sum_first_fit` — the paper's merge heuristic.
+- :func:`derive_multiples` — derive ``P^{V}_{s1..sn}`` probe groupings from a
+  base packing at ``s0`` without re-running the packer (§4).
+"""
+
+from repro.packing.bins import Bin, Item, PackingError, total_size, validate_packing
+from repro.packing.first_fit import (
+    first_fit,
+    first_fit_decreasing,
+    pack_into_n_bins,
+)
+from repro.packing.subset_sum import derive_multiples, subset_sum_first_fit
+from repro.packing.uniform import uniform_bins
+
+__all__ = [
+    "Bin",
+    "Item",
+    "PackingError",
+    "total_size",
+    "validate_packing",
+    "first_fit",
+    "first_fit_decreasing",
+    "pack_into_n_bins",
+    "uniform_bins",
+    "subset_sum_first_fit",
+    "derive_multiples",
+]

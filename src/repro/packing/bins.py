@@ -1,0 +1,110 @@
+"""Value objects shared by every packing heuristic."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = ["Item", "Bin", "PackingError", "total_size", "validate_packing"]
+
+
+class PackingError(ValueError):
+    """Raised for infeasible packings (oversized items, bad capacities)."""
+
+
+@dataclass(frozen=True)
+class Item:
+    """A packable unit: one input file (or pre-merged segment).
+
+    ``key`` identifies the item in the source catalogue (e.g. a virtual file
+    path); ``size`` is in bytes.  Items are immutable so the same list can be
+    fed to several heuristics for comparison.
+    """
+
+    key: str
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise PackingError(f"item {self.key!r} has negative size {self.size}")
+
+
+@dataclass
+class Bin:
+    """A capacitated container of items.
+
+    ``capacity`` may be ``None`` for uncapacitated (balance-only) bins.
+    ``used`` is maintained incrementally so adding items stays O(1) even in
+    bins holding tens of thousands of files; mutate ``items`` only through
+    :meth:`add` / :meth:`append_unchecked`.
+    """
+
+    capacity: int | None
+    items: list[Item] = field(default_factory=list)
+    _used: int = field(default=0, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self._used = sum(it.size for it in self.items)
+
+    @property
+    def used(self) -> int:
+        return self._used
+
+    @property
+    def free(self) -> int:
+        if self.capacity is None:
+            raise PackingError("uncapacitated bin has no free space notion")
+        return self.capacity - self._used
+
+    def fits(self, item: Item) -> bool:
+        """True when the item fits the remaining capacity."""
+        return self.capacity is None or item.size <= self.free
+
+    def add(self, item: Item) -> None:
+        """Place an item, enforcing the capacity."""
+        if not self.fits(item):
+            raise PackingError(
+                f"item {item.key!r} ({item.size} B) does not fit: "
+                f"used={self._used}, capacity={self.capacity}"
+            )
+        self.items.append(item)
+        self._used += item.size
+
+    def append_unchecked(self, item: Item) -> None:
+        """Add without the capacity check (balance-only / overflow paths)."""
+        self.items.append(item)
+        self._used += item.size
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+def total_size(items: Iterable[Item]) -> int:
+    """Sum of item sizes in bytes."""
+    return sum(it.size for it in items)
+
+
+def validate_packing(items: Sequence[Item], bins: Sequence[Bin]) -> None:
+    """Assert that ``bins`` is a true partition of ``items``.
+
+    Checks: every item appears exactly once, no bin exceeds its capacity,
+    and total volume is conserved.  Raises :class:`PackingError` otherwise.
+    Used by tests and by property-based checks.
+    """
+    placed: dict[str, int] = {}
+    for b in bins:
+        if b.capacity is not None and b.used > b.capacity:
+            raise PackingError(f"bin over capacity: used={b.used} > {b.capacity}")
+        for it in b.items:
+            placed[it.key] = placed.get(it.key, 0) + 1
+    want = {}
+    for it in items:
+        want[it.key] = want.get(it.key, 0) + 1
+    if placed != want:
+        missing = {k for k in want if placed.get(k, 0) != want[k]}
+        extra = {k for k in placed if want.get(k, 0) != placed[k]}
+        raise PackingError(
+            f"packing is not a partition (mismatched keys: {sorted(missing | extra)[:5]}…)"
+        )
+    if sum(b.used for b in bins) != total_size(items):
+        raise PackingError("packing does not conserve total volume")

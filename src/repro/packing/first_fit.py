@@ -1,0 +1,116 @@
+"""First-fit family of bin-packing heuristics.
+
+First-fit scans bins in creation order and places each item into the first
+bin with room, opening a new bin when none fits.  First-fit-decreasing sorts
+items by size first — a better approximation ratio (11/9 OPT + 6/9), but the
+paper deliberately avoids it for the POS workload because it front-loads
+large files into the earliest bins and large files degrade the memory-bound
+tagger (§5.2).  Both are provided so the ablation bench can contrast them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.packing.bins import Bin, Item, PackingError
+
+__all__ = ["first_fit", "first_fit_decreasing", "pack_into_n_bins"]
+
+
+def first_fit(items: Sequence[Item], capacity: int) -> list[Bin]:
+    """Pack ``items`` (in given order) into bins of ``capacity`` bytes.
+
+    Items larger than ``capacity`` get a dedicated oversized bin of their own
+    (the paper's corpora contain a long tail — e.g. a 43 MB article among
+    10 kB files — and an unsplittable oversized file must still be placed).
+
+    The "first bin with room" scan is vectorised over a NumPy free-space
+    array, so packing million-file catalogues stays fast in practice while
+    placement is *exactly* classic first-fit.
+    """
+    if capacity <= 0:
+        raise PackingError(f"capacity must be positive, got {capacity}")
+    bins: list[Bin] = []          # all bins, in creation order
+    regular: list[Bin] = []       # non-oversized bins, in creation order
+    free = np.empty(0, dtype=np.int64)
+    for item in items:
+        if item.size > capacity:
+            solo = Bin(capacity=item.size)
+            solo.add(item)
+            bins.append(solo)
+            continue
+        n = len(regular)
+        idx = -1
+        if n:
+            fits_mask = free[:n] >= item.size
+            pos = int(np.argmax(fits_mask))
+            if fits_mask[pos]:
+                idx = pos
+        if idx >= 0:
+            regular[idx].append_unchecked(item)
+            free[idx] -= item.size
+        else:
+            b = Bin(capacity=capacity)
+            b.add(item)
+            bins.append(b)
+            regular.append(b)
+            if len(regular) > free.shape[0]:
+                grown = np.empty(max(16, 2 * free.shape[0]), dtype=np.int64)
+                grown[: free.shape[0]] = free
+                free = grown
+            free[len(regular) - 1] = capacity - item.size
+    return bins
+
+
+def first_fit_decreasing(items: Sequence[Item], capacity: int) -> list[Bin]:
+    """First-fit on items sorted by size, descending (ties broken by key)."""
+    ordered = sorted(items, key=lambda it: (-it.size, it.key))
+    return first_fit(ordered, capacity)
+
+
+def pack_into_n_bins(
+    items: Sequence[Item],
+    n_bins: int,
+    capacity: int,
+    *,
+    strict: bool = False,
+) -> list[Bin]:
+    """First-fit ``items`` into exactly ``n_bins`` bins of ``capacity``.
+
+    This is the provisioning step of §5.2: the deadline model prescribes a
+    per-instance volume ``x0`` and an instance count ``i0 = ceil(V/ceil(x0))``;
+    the data set is then packed into ``i0`` bins.  The paper keeps the files
+    in their *original order* here.
+
+    When the capacity turns out too tight for first-fit (possible because
+    first-fit wastes some space), overflow items spill into the
+    least-loaded bin unless ``strict`` is true, in which case
+    :class:`PackingError` is raised.
+    """
+    if n_bins <= 0:
+        raise PackingError(f"need at least one bin, got {n_bins}")
+    if capacity <= 0:
+        raise PackingError(f"capacity must be positive, got {capacity}")
+    bins = [Bin(capacity=capacity) for _ in range(n_bins)]
+    overflow: list[Item] = []
+    for item in items:
+        for b in bins:
+            if b.fits(item):
+                b.add(item)
+                break
+        else:
+            overflow.append(item)
+    if overflow:
+        if strict:
+            raise PackingError(
+                f"{len(overflow)} items do not fit into {n_bins} bins of {capacity} B"
+            )
+        for item in overflow:
+            target = min(bins, key=lambda b: b.used)
+            target.capacity = None if target.capacity is None else max(
+                target.capacity, target.used + item.size
+            )
+            target.append_unchecked(item)
+    return bins

@@ -1,0 +1,108 @@
+"""Subset-sum first-fit merging — the paper's reshaping heuristic (§4).
+
+The goal is to group original small files into *unit files* whose size is as
+close as possible to a desired unit size ``s``.  The paper cites the
+subset-sum first-fit heuristic [Vazirani]: fill one bin at a time, greedily
+adding the files that keep the bin as full as possible without overflowing.
+
+Two entry points:
+
+* :func:`subset_sum_first_fit` — the merge itself, producing bins whose
+  contents will be concatenated into unit files.
+* :func:`derive_multiples` — the §4 trick: after packing once at the base
+  unit size ``s0``, probes at sizes ``s1..sn`` that are *multiples* of ``s0``
+  are derived by coalescing consecutive base bins, avoiding a re-pack ("this
+  approach is convenient since we avoid rerunning the first fit bin packing
+  algorithm, but can be sensitive to the quality of the original bins").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.packing.bins import Bin, Item, PackingError
+
+__all__ = ["subset_sum_first_fit", "derive_multiples"]
+
+
+def subset_sum_first_fit(
+    items: Sequence[Item],
+    unit_size: int,
+    *,
+    preserve_order: bool = True,
+) -> list[Bin]:
+    """Merge ``items`` into bins of at most ``unit_size`` bytes each.
+
+    With ``preserve_order`` (the paper's default for the POS workload,
+    §5.2), items are taken in their original order and placed first-fit.
+    Without it, a greedy best-fill pass is made per bin: repeatedly take the
+    largest remaining item that still fits (the classic subset-sum
+    approximation), which produces fuller bins at the cost of reordering.
+
+    Items larger than ``unit_size`` become single-item oversized bins; the
+    reshaper never splits a file ("the largest (unsplittable) file", §5).
+    """
+    if unit_size <= 0:
+        raise PackingError(f"unit size must be positive, got {unit_size}")
+    if preserve_order:
+        from repro.packing.first_fit import first_fit
+
+        return first_fit(items, unit_size)
+
+    remaining = sorted(items, key=lambda it: (-it.size, it.key))
+    bins: list[Bin] = []
+    # Oversized files first: each gets its own bin.
+    while remaining and remaining[0].size > unit_size:
+        solo = Bin(capacity=remaining[0].size)
+        solo.add(remaining.pop(0))
+        bins.append(solo)
+    while remaining:
+        b = Bin(capacity=unit_size)
+        # Greedy descending scan: take every item that still fits.  Because
+        # the list is sorted by size, one pass approximates subset-sum well.
+        kept: list[Item] = []
+        for it in remaining:
+            if b.fits(it):
+                b.add(it)
+            else:
+                kept.append(it)
+        remaining = kept
+        bins.append(b)
+    return bins
+
+
+def derive_multiples(
+    base_bins: Sequence[Bin],
+    factors: Sequence[int],
+) -> dict[int, list[Bin]]:
+    """Derive probe packings at multiples of the base unit size.
+
+    Given bins packed at unit size ``s0``, return for each factor ``k`` in
+    ``factors`` a packing at unit size ``k*s0`` built by coalescing ``k``
+    consecutive base bins.  The returned mapping is keyed by factor.
+
+    This mirrors §4: ``s1..sn`` are "conveniently chosen as multiples of s0
+    such that we perform the bin packing once"; the quality of the derived
+    bins inherits the quality of the base bins.
+    """
+    if not base_bins:
+        return {k: [] for k in factors}
+    base_cap = max(b.capacity or b.used for b in base_bins)
+    out: dict[int, list[Bin]] = {}
+    for k in factors:
+        if k < 1:
+            raise PackingError(f"factor must be >= 1, got {k}")
+        merged: list[Bin] = []
+        for start in range(0, len(base_bins), k):
+            group = base_bins[start : start + k]
+            nb = Bin(capacity=base_cap * k)
+            for gb in group:
+                for it in gb.items:
+                    # Coalesced bins can exceed capacity only if a base bin
+                    # held an oversized item; widen rather than fail.
+                    if not nb.fits(it):
+                        nb.capacity = nb.used + it.size
+                    nb.add(it)
+            merged.append(nb)
+        out[k] = merged
+    return out

@@ -1,0 +1,121 @@
+"""Cross-validated model-family selection (§7 "more complex statistics").
+
+R² on the training points (what §5 uses) rewards flexible families even
+when they extrapolate badly; the provisioning question is *predictive*.
+:func:`cross_validate` scores each candidate family by K-fold prediction
+error, and :func:`select_by_cv` picks the family that actually transfers —
+typically the affine model for these workloads, now for a defensible
+reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.perfmodel.regression import (
+    FitError,
+    Predictor,
+    fit_affine,
+    fit_exponential,
+    fit_linear,
+    fit_power,
+    fit_xlogx,
+)
+
+__all__ = ["CvScore", "cross_validate", "select_by_cv", "DEFAULT_FAMILIES"]
+
+DEFAULT_FAMILIES: dict[str, Callable] = {
+    "linear": fit_linear,
+    "affine": fit_affine,
+    "power": fit_power,
+    "exponential": fit_exponential,
+    "xlogx": fit_xlogx,
+}
+
+
+@dataclass(frozen=True)
+class CvScore:
+    """K-fold result for one family."""
+
+    family: str
+    rmse: float                 # root mean squared prediction error
+    mean_relative_error: float
+    folds_used: int
+
+    def __lt__(self, other: "CvScore") -> bool:  # pragma: no cover - trivial
+        return self.rmse < other.rmse
+
+
+def _fold_indices(n: int, k: int) -> list[np.ndarray]:
+    """Deterministic interleaved folds (no RNG: point order is meaningful
+    and probe volumes repeat, so interleaving spreads volumes across folds)."""
+    return [np.arange(i, n, k) for i in range(k)]
+
+
+def cross_validate(
+    x: Sequence[float],
+    y: Sequence[float],
+    *,
+    k: int = 5,
+    families: dict[str, Callable] | None = None,
+) -> list[CvScore]:
+    """Score each fittable family by K-fold prediction error.
+
+    Families that cannot fit some fold (log-space domain violations, too
+    few points) are scored only on the folds they survive; families that
+    fit nothing are omitted.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise FitError("x and y must be 1-D arrays of equal length")
+    if x.size < 4:
+        raise FitError("cross-validation needs at least 4 points")
+    k = min(k, x.size)
+    families = families or DEFAULT_FAMILIES
+
+    scores: list[CvScore] = []
+    for name, fit in families.items():
+        sq_errors: list[float] = []
+        rel_errors: list[float] = []
+        folds_used = 0
+        for test_idx in _fold_indices(x.size, k):
+            train = np.ones(x.size, dtype=bool)
+            train[test_idx] = False
+            try:
+                model = fit(x[train], y[train])
+            except FitError:
+                continue
+            pred = np.asarray(model.predict(x[test_idx]), dtype=float)
+            if not np.all(np.isfinite(pred)):
+                continue
+            folds_used += 1
+            sq_errors.extend(((pred - y[test_idx]) ** 2).tolist())
+            denom = np.maximum(np.abs(y[test_idx]), 1e-12)
+            rel_errors.extend((np.abs(pred - y[test_idx]) / denom).tolist())
+        if folds_used:
+            scores.append(CvScore(
+                family=name,
+                rmse=float(np.sqrt(np.mean(sq_errors))),
+                mean_relative_error=float(np.mean(rel_errors)),
+                folds_used=folds_used,
+            ))
+    if not scores:
+        raise FitError("no family survived cross-validation")
+    return sorted(scores, key=lambda s: s.rmse)
+
+
+def select_by_cv(
+    x: Sequence[float],
+    y: Sequence[float],
+    *,
+    k: int = 5,
+    families: dict[str, Callable] | None = None,
+) -> tuple[Predictor, list[CvScore]]:
+    """Fit the CV-winning family on all points; returns (model, scores)."""
+    scores = cross_validate(x, y, k=k, families=families)
+    winner = (families or DEFAULT_FAMILIES)[scores[0].family]
+    return winner(np.asarray(x, dtype=float), np.asarray(y, dtype=float)), scores

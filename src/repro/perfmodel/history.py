@@ -1,0 +1,187 @@
+"""Historical-data runtime prediction (§4's alternative [17]).
+
+"Performance estimation can be done through analytical modeling,
+empirically and by relying on historical data [Smith, Foster, Taylor]."
+The paper rejects history because the cloud is "volatile and opaque"; this
+module implements the approach so the comparison is runnable
+(``benchmarks/test_prediction_approaches.py``).
+
+:class:`RunHistory` accumulates past run records (the execution service
+can append automatically); :class:`HistoricalPredictor` predicts by
+volume interpolation over the aggregated history — which inherits the
+quality mix of whatever instances happened to serve past runs, exactly the
+weakness the paper calls out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.perfmodel.regression import FitError, Predictor
+
+__all__ = ["RunRecord", "RunHistory", "HistoricalPredictor"]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One past execution."""
+
+    app: str
+    volume: int
+    seconds: float
+    instance_id: str = ""
+    n_units: int = 0
+
+    def __post_init__(self) -> None:
+        if self.volume <= 0 or self.seconds <= 0:
+            raise ValueError("run records need positive volume and time")
+
+
+class RunHistory:
+    """Append-only store of past runs, filterable by application.
+
+    Histories persist as JSON-lines (:meth:`save` / :meth:`load`) so a real
+    deployment can accumulate them across campaigns — the [17] premise of
+    "predicting application run times using historical information".
+    """
+
+    def __init__(self) -> None:
+        self._records: list[RunRecord] = []
+
+    def append(self, record: RunRecord) -> None:
+        """Add a pre-built record."""
+        self._records.append(record)
+
+    def record(self, app: str, volume: int, seconds: float, **kw) -> RunRecord:
+        """Build and store a record from its fields."""
+        rec = RunRecord(app=app, volume=volume, seconds=seconds, **kw)
+        self.append(rec)
+        return rec
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def for_app(self, app: str) -> list[RunRecord]:
+        """Records of one application."""
+        return [r for r in self._records if r.app == app]
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Write the history as JSON-lines."""
+        import json
+        from dataclasses import asdict
+        from pathlib import Path
+
+        lines = [json.dumps(asdict(r), sort_keys=True) for r in self._records]
+        Path(path).write_text("\n".join(lines) + ("\n" if lines else ""),
+                              encoding="utf-8")
+
+    @classmethod
+    def load(cls, path) -> "RunHistory":
+        """Read a history written by :meth:`save` (bad lines are an error)."""
+        import json
+        from pathlib import Path
+
+        h = cls()
+        for lineno, line in enumerate(
+            Path(path).read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if not line.strip():
+                continue
+            try:
+                h.append(RunRecord(**json.loads(line)))
+            except (TypeError, ValueError, KeyError) as e:
+                raise ValueError(f"{path}:{lineno}: bad history record: {e}") from e
+        return h
+
+    def points(self, app: str) -> tuple[np.ndarray, np.ndarray]:
+        """(volumes, seconds) arrays for one application."""
+        recs = self.for_app(app)
+        if not recs:
+            return np.zeros(0), np.zeros(0)
+        x = np.array([r.volume for r in recs], dtype=float)
+        y = np.array([r.seconds for r in recs], dtype=float)
+        return x, y
+
+
+@dataclass
+class HistoricalPredictor(Predictor):
+    """Volume-interpolated predictor over aggregated history.
+
+    Records are bucketed by volume (identical volumes pooled), means are
+    made monotone with a running maximum (runtime cannot decrease with
+    volume), predictions interpolate between buckets, and extrapolation
+    beyond the observed range uses the marginal rate of the outermost
+    bucket pair.
+    """
+
+    volumes: np.ndarray = field(default=None, repr=False)
+    times: np.ndarray = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.name = "historical"
+
+    @classmethod
+    def from_history(cls, history: RunHistory, app: str) -> "HistoricalPredictor":
+        x, y = history.points(app)
+        if x.size < 2:
+            raise FitError(f"need at least two historical runs of {app!r}")
+        vols = np.unique(x)
+        if vols.size < 2:
+            raise FitError("history covers a single volume; cannot interpolate")
+        means = np.array([float(y[x == v].mean()) for v in vols])
+        means = np.maximum.accumulate(means)  # enforce monotone runtime
+        p = cls(volumes=vols, times=means)
+        p.x, p.y = x, y
+        return p
+
+    # -- Predictor interface -------------------------------------------------
+
+    def _rate(self, lo: int, hi: int) -> float:
+        dv = self.volumes[hi] - self.volumes[lo]
+        dt = self.times[hi] - self.times[lo]
+        return dt / dv if dv > 0 else 0.0
+
+    def _f(self, x):
+        x = np.asarray(x, dtype=float)
+        out = np.interp(x, self.volumes, self.times)
+        below = x < self.volumes[0]
+        above = x > self.volumes[-1]
+        if np.any(below):
+            r = self._rate(0, 1)
+            out = np.where(
+                below,
+                np.maximum(0.0, self.times[0] - (self.volumes[0] - x) * r),
+                out,
+            )
+        if np.any(above):
+            r = self._rate(-2, -1)
+            out = np.where(above, self.times[-1] + (x - self.volumes[-1]) * r, out)
+        return out
+
+    def _f_inv(self, y):
+        times = self.times
+        if y <= times[0]:
+            r = self._rate(0, 1)
+            if r <= 0:
+                raise FitError("history is flat; inverse undefined below range")
+            return self.volumes[0] - (times[0] - y) / r
+        if y >= times[-1]:
+            r = self._rate(-2, -1)
+            if r <= 0:
+                raise FitError("history is flat; inverse undefined above range")
+            return self.volumes[-1] + (y - times[-1]) / r
+        return float(np.interp(y, times, self.volumes))
+
+    def inverse(self, y: float) -> float:
+        """Volume processable in ``y`` seconds per the history."""
+        if y <= 0:
+            raise FitError("target time must be positive")
+        v = float(self._f_inv(y))
+        if v <= 0:
+            raise FitError(f"no volume completes in {y}s according to history")
+        return v

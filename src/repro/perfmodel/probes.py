@@ -1,0 +1,209 @@
+"""Probe construction and the escalating measurement protocol (§4).
+
+A *probe set* for volume ``V`` contains the head of the catalogue in its
+original segmentation (``P^V_orig``) plus reshaped variants ``P^V_s`` for a
+range of unit file sizes ``s0..sn``.  Per the paper, the bin packing runs
+once at the base size ``s0`` and variants at multiples of ``s0`` are derived
+by coalescing consecutive bins; non-multiple sizes are packed directly.
+
+The protocol starts at a small volume, discards measurements that are "too
+unstable" (small means, large deviations — dominated by setup overheads),
+and escalates the volume by a factor ``k`` until a stable probe set is
+obtained or the budget runs out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.apps.base import Unit
+from repro.cloud.ebs import EbsVolume
+from repro.cloud.instance import Instance
+from repro.cloud.service import ExecutionService, Workload
+from repro.packing import derive_multiples, subset_sum_first_fit
+from repro.packing.bins import Bin
+from repro.perfmodel.measurement import DEFAULT_REPEATS, Measurement, ProbeSetResult
+from repro.vfs.files import Catalogue, Segment, VirtualFile
+
+__all__ = ["ProbeSet", "build_probe_set", "ProbeCampaign", "ProtocolResult"]
+
+
+def _bins_to_segments(bins: Sequence[Bin], by_path: dict[str, VirtualFile],
+                      prefix: str) -> list[Segment]:
+    return [
+        Segment(name=f"{prefix}/unit{idx:05d}", members=tuple(by_path[it.key] for it in b.items))
+        for idx, b in enumerate(bins)
+        if b.items
+    ]
+
+
+@dataclass(frozen=True)
+class ProbeSet:
+    """All variants of one probe volume, ready to run."""
+
+    volume: int
+    variants: dict[str | int, tuple[Unit, ...]]
+
+    def labels(self) -> list[str | int]:
+        """Variant labels: ``"orig"`` first, then unit sizes ascending."""
+        return ["orig"] + sorted(k for k in self.variants if isinstance(k, int))
+
+
+def build_probe_set(
+    catalogue: Catalogue,
+    volume: int,
+    unit_sizes: Sequence[int],
+) -> ProbeSet:
+    """Construct ``P^V_orig`` and ``P^V_{s}`` for each requested unit size.
+
+    Reuses one base packing for sizes that are multiples of ``unit_sizes[0]``
+    (the §4 efficiency trick) and packs other sizes directly.
+    """
+    if volume <= 0:
+        raise ValueError("probe volume must be positive")
+    sizes = sorted(set(int(s) for s in unit_sizes))
+    if any(s <= 0 for s in sizes):
+        raise ValueError("unit sizes must be positive")
+    head = catalogue.head_by_volume(volume)
+    by_path = {f.path: f for f in head}
+    variants: dict[str | int, tuple[Unit, ...]] = {"orig": tuple(head)}
+    if not sizes:
+        return ProbeSet(volume=volume, variants=variants)
+
+    s0 = sizes[0]
+    base_bins = subset_sum_first_fit(head.items(), s0)
+    multiples = {s: s // s0 for s in sizes if s % s0 == 0}
+    derived = derive_multiples(base_bins, sorted(set(multiples.values())))
+    for s in sizes:
+        if s in multiples:
+            bins = derived[multiples[s]]
+        else:
+            bins = subset_sum_first_fit(head.items(), s)
+        variants[s] = tuple(_bins_to_segments(bins, by_path, f"probe_v{volume}_s{s}"))
+    return ProbeSet(volume=volume, variants=variants)
+
+
+@dataclass
+class ProtocolResult:
+    """Outcome of the escalating protocol: every probe set measured."""
+
+    probe_sets: list[ProbeSetResult] = field(default_factory=list)
+    stable: bool = False
+
+    @property
+    def final(self) -> ProbeSetResult:
+        if not self.probe_sets:
+            raise ValueError("protocol produced no probe sets")
+        return self.probe_sets[-1]
+
+
+class ProbeCampaign:
+    """Runs probe sets on a vetted instance, §4-style.
+
+    Each variant is staged into its own EBS directory (when a volume is
+    given), so distinct variants can land on placements of different
+    quality — which is both realistic and the mechanism behind the Fig. 5
+    spikes.
+    """
+
+    def __init__(
+        self,
+        service: ExecutionService,
+        instance: Instance,
+        workload: Workload,
+        *,
+        storage: EbsVolume | None = None,
+        repeats: int = DEFAULT_REPEATS,
+    ) -> None:
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        self.service = service
+        self.instance = instance
+        self.workload = workload
+        self.storage = storage
+        self.repeats = repeats
+        self._observations: list[tuple[int, str | int, Measurement]] = []
+
+    # -- low-level -----------------------------------------------------------
+
+    def measure(self, units: Sequence[Unit], directory: str) -> Measurement:
+        """Time one probe ``repeats`` times (mean/std recorded)."""
+        if self.storage is not None:
+            self.storage.store(directory)
+        values = tuple(
+            self.service.run(
+                self.instance, units, self.workload,
+                storage=self.storage, directory=directory,
+            )
+            for _ in range(self.repeats)
+        )
+        return Measurement(values=values)
+
+    def measure_labeled(self, volume: int, label: str | int,
+                        units: Sequence[Unit], directory: str) -> Measurement:
+        """Measure one variant and record it as a regression observation."""
+        m = self.measure(units, directory)
+        self._observations.append((volume, label, m))
+        return m
+
+    def run_probe_set(self, probe_set: ProbeSet) -> ProbeSetResult:
+        """Measure every variant of one probe set."""
+        results: dict[str | int, Measurement] = {}
+        for label, units in probe_set.variants.items():
+            directory = f"probes/v{probe_set.volume}/{label}"
+            m = self.measure(units, directory)
+            results[label] = m
+            self._observations.append((probe_set.volume, label, m))
+        return ProbeSetResult(volume=probe_set.volume, variants=results)
+
+    # -- the §4 protocol -----------------------------------------------------
+
+    def run_protocol(
+        self,
+        catalogue: Catalogue,
+        *,
+        initial_volume: int,
+        unit_sizes_for,
+        growth: int = 5,
+        stability_cv: float = 0.25,
+        max_rounds: int = 6,
+    ) -> ProtocolResult:
+        """Escalate probe volume until measurements stabilise.
+
+        ``unit_sizes_for(volume)`` supplies the unit-size sweep for a given
+        volume (the paper caps ``sn`` at the probe volume itself).
+        """
+        if initial_volume <= 0 or growth < 2:
+            raise ValueError("need positive initial volume and growth >= 2")
+        result = ProtocolResult()
+        volume = initial_volume
+        for _ in range(max_rounds):
+            sizes = [s for s in unit_sizes_for(volume) if s <= volume]
+            ps = build_probe_set(catalogue, volume, sizes)
+            measured = self.run_probe_set(ps)
+            result.probe_sets.append(measured)
+            if measured.stable(stability_cv):
+                result.stable = True
+                break
+            if volume >= catalogue.total_size:
+                break
+            volume = min(volume * growth, catalogue.total_size)
+        return result
+
+    # -- model input -----------------------------------------------------------
+
+    def observations_for(self, label: str | int) -> list[tuple[float, float]]:
+        """(volume, mean time) points for one variant across probe sets."""
+        return [(float(v), m.mean) for v, lab, m in self._observations if lab == label]
+
+    def timing_points(self, label: str | int) -> tuple[list[float], list[float]]:
+        """Raw per-repeat points for regression: every repeat is a sample."""
+        xs: list[float] = []
+        ys: list[float] = []
+        for v, lab, m in self._observations:
+            if lab == label:
+                for t in m.values:
+                    xs.append(float(v))
+                    ys.append(t)
+        return xs, ys

@@ -1,0 +1,95 @@
+"""Adaptive unit-size refinement (§5.1's "more careful sampling").
+
+The coarse probe sweep (decade-spaced unit sizes) finds the plateau; the
+paper then samples the range more finely and discovers it "is not smooth"
+(Fig. 5).  This module automates that refinement: starting from a coarse
+sweep, it repeatedly measures the midpoints flanking the current best unit
+size, narrowing geometrically until the bracket is tight or the budget is
+spent.  Because EBS placement makes the response *noisy in unit size*
+(spikes), the refinement tracks the best measured point rather than
+assuming unimodality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.perfmodel.measurement import Measurement
+from repro.perfmodel.probes import ProbeCampaign, build_probe_set
+from repro.vfs.files import Catalogue
+
+__all__ = ["RefinementResult", "refine_unit_size"]
+
+
+@dataclass
+class RefinementResult:
+    """Outcome of the adaptive search."""
+
+    best_unit: int
+    best_mean: float
+    measurements: dict[int, Measurement] = field(default_factory=dict)
+    rounds: int = 0
+
+    @property
+    def sampled_units(self) -> list[int]:
+        return sorted(self.measurements)
+
+
+def refine_unit_size(
+    campaign: ProbeCampaign,
+    catalogue: Catalogue,
+    volume: int,
+    coarse_sizes: list[int],
+    *,
+    rounds: int = 3,
+    min_gap_ratio: float = 1.15,
+) -> RefinementResult:
+    """Search for the fastest unit size by midpoint refinement.
+
+    Each round measures the geometric midpoints between the current best
+    unit size and its nearest sampled neighbours; refinement stops after
+    ``rounds`` rounds or when the bracket's neighbours are within
+    ``min_gap_ratio`` of the best (nothing left to resolve).
+    """
+    if volume <= 0:
+        raise ValueError("volume must be positive")
+    sizes = sorted({int(s) for s in coarse_sizes if 0 < s <= volume})
+    if len(sizes) < 2:
+        raise ValueError("need at least two coarse unit sizes within the volume")
+    if rounds < 0 or min_gap_ratio <= 1.0:
+        raise ValueError("rounds must be >= 0 and min_gap_ratio > 1")
+
+    result = RefinementResult(best_unit=0, best_mean=float("inf"))
+
+    def measure(unit: int) -> None:
+        if unit in result.measurements:
+            return
+        ps = build_probe_set(catalogue, volume, [unit])
+        m = campaign.measure(ps.variants[unit], directory=f"refine/v{volume}/{unit}")
+        result.measurements[unit] = m
+        if m.mean < result.best_mean:
+            result.best_mean = m.mean
+            result.best_unit = unit
+
+    for s in sizes:
+        measure(s)
+
+    for _ in range(rounds):
+        sampled = result.sampled_units
+        i = sampled.index(result.best_unit)
+        candidates: list[int] = []
+        if i > 0:
+            lo = sampled[i - 1]
+            if result.best_unit / lo > min_gap_ratio:
+                candidates.append(int(round((lo * result.best_unit) ** 0.5)))
+        if i + 1 < len(sampled):
+            hi = sampled[i + 1]
+            if hi / result.best_unit > min_gap_ratio:
+                candidates.append(int(round((hi * result.best_unit) ** 0.5)))
+        candidates = [c for c in candidates if c not in result.measurements]
+        if not candidates:
+            break
+        for c in candidates:
+            measure(c)
+        result.rounds += 1
+    return result

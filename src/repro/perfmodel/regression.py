@@ -1,0 +1,319 @@
+"""Runtime predictors and their fits (§5, "Static provisioning").
+
+The paper considers linear, power-law and exponential predictors, fit by
+regression in logarithmic space "since our data points are not nearly
+equidistant", plus the ``y = x^{a·ln x + b}`` family.  Its headline models
+(Eqs. (1)–(4)) are affine fits ``f(x) = a + b·x``, so an affine OLS fit is
+included as well and is what the provisioning pipeline uses.
+
+Every fit returns a :class:`Predictor` exposing ``predict``, a closed-form
+(or bracketed-numeric) ``inverse`` used to answer "how much data fits in a
+deadline", goodness-of-fit in the original space, and the residual vectors
+the §5.2 adjusted-deadline machinery consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "FitError", "Predictor",
+    "LinearPredictor", "AffinePredictor", "PowerPredictor",
+    "ExponentialPredictor", "XLogXPredictor",
+    "fit_linear", "fit_affine", "fit_power", "fit_exponential", "fit_xlogx",
+    "fit_all", "select_best",
+]
+
+
+class FitError(ValueError):
+    """Degenerate data (too few points, non-positive values in log space…)."""
+
+
+def _validate(x, y, min_points: int, positive_x: bool = False, positive_y: bool = False):
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise FitError("x and y must be 1-D arrays of equal length")
+    if x.size < min_points:
+        raise FitError(f"need at least {min_points} points, got {x.size}")
+    if positive_x and np.any(x <= 0):
+        raise FitError("log-space fit requires positive x")
+    if positive_y and np.any(y <= 0):
+        raise FitError("log-space fit requires positive y")
+    return x, y
+
+
+@dataclass
+class Predictor:
+    """Base: a fitted runtime model ``y = f(x)`` (x bytes → y seconds)."""
+
+    name: str = field(init=False, default="base")
+    x: np.ndarray = field(repr=False, default=None)
+    y: np.ndarray = field(repr=False, default=None)
+
+    # subclasses implement the function and its inverse
+    def _f(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _f_inv(self, y: float) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def predict(self, x) -> np.ndarray | float:
+        """Evaluate ``f(x)``; scalar in, scalar out."""
+        arr = np.asarray(x, dtype=float)
+        out = self._f(arr)
+        return float(out) if np.isscalar(x) or arr.ndim == 0 else out
+
+    def inverse(self, y: float) -> float:
+        """Data volume processable in ``y`` seconds, per this model.
+
+        Subclasses add family-specific domain checks.
+        """
+        return float(self._f_inv(y))
+
+    # -- goodness of fit ----------------------------------------------------
+
+    @property
+    def fitted(self) -> np.ndarray:
+        return self._f(self.x)
+
+    @property
+    def residuals(self) -> np.ndarray:
+        """``y - f(x)`` in the original space."""
+        return self.y - self.fitted
+
+    @property
+    def relative_residuals(self) -> np.ndarray:
+        """``(y - f(x)) / f(x)`` — the §5.2 adjusted-deadline statistic."""
+        return self.residuals / self.fitted
+
+    @property
+    def r2(self) -> float:
+        ss_res = float(np.sum(self.residuals**2))
+        ss_tot = float(np.sum((self.y - self.y.mean()) ** 2))
+        if ss_tot == 0:
+            return 1.0 if ss_res == 0 else 0.0
+        return 1.0 - ss_res / ss_tot
+
+    # -- curvature (Fig. 2 strategy rule) -----------------------------------
+
+    def curvature_sign(self) -> int:
+        """Sign of f'' on the fitted range: +1 convex, -1 concave, 0 linear.
+
+        §5 / Fig. 2: convex models favour starting new instances (more data
+        per hour at small volumes); concave models favour packing up to the
+        deadline.
+        """
+        xs = np.linspace(max(1.0, float(np.min(self.x))), float(np.max(self.x)), 64)
+        f = self._f(xs)
+        second = np.diff(f, 2)
+        tol = 1e-9 * max(1.0, float(np.max(np.abs(f))))
+        if np.all(second > tol):
+            return 1
+        if np.all(second < -tol):
+            return -1
+        return 0
+
+
+@dataclass
+class LinearPredictor(Predictor):
+    """``y = a·x`` fit in log space: ``Y = ln a + X``."""
+
+    a: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.name = "linear"
+
+    def _f(self, x):
+        return self.a * x
+
+    def _f_inv(self, y):
+        return y / self.a
+
+    def inverse(self, y: float) -> float:
+        """Volume whose predicted time equals ``y`` (domain-checked)."""
+        if y <= 0:
+            raise FitError("linear model needs positive target time")
+        return float(self._f_inv(y))
+
+
+@dataclass
+class AffinePredictor(Predictor):
+    """``y = a + b·x`` ordinary least squares (the Eq. (1)–(4) family)."""
+
+    a: float = 0.0
+    b: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.name = "affine"
+
+    def _f(self, x):
+        return self.a + self.b * x
+
+    def _f_inv(self, y):
+        return (y - self.a) / self.b
+
+    def inverse(self, y: float) -> float:
+        """Volume whose predicted time equals ``y`` (domain-checked)."""
+        if self.b <= 0:
+            raise FitError("non-increasing affine model has no inverse")
+        if y <= self.a:
+            raise FitError(f"target {y}s is below the model intercept {self.a}s")
+        return float(self._f_inv(y))
+
+
+@dataclass
+class PowerPredictor(Predictor):
+    """``y = a·x^b`` fit by log–log OLS."""
+
+    a: float = 0.0
+    b: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.name = "power"
+
+    def _f(self, x):
+        return self.a * np.power(np.maximum(x, 0.0), self.b)
+
+    def _f_inv(self, y):
+        return (y / self.a) ** (1.0 / self.b)
+
+    def inverse(self, y: float) -> float:
+        """Volume whose predicted time equals ``y`` (domain-checked)."""
+        if y <= 0:
+            raise FitError("power model needs positive target time")
+        return float(self._f_inv(y))
+
+
+@dataclass
+class ExponentialPredictor(Predictor):
+    """``y = a·e^{b·x}`` fit by semilog OLS."""
+
+    a: float = 0.0
+    b: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.name = "exponential"
+
+    def _f(self, x):
+        return self.a * np.exp(self.b * x)
+
+    def _f_inv(self, y):
+        return np.log(y / self.a) / self.b
+
+    def inverse(self, y: float) -> float:
+        """Volume whose predicted time equals ``y`` (domain-checked)."""
+        if y <= 0 or self.a <= 0 or self.b == 0:
+            raise FitError("exponential inverse undefined")
+        return float(self._f_inv(y))
+
+
+@dataclass
+class XLogXPredictor(Predictor):
+    """``y = x^{a·ln x + b}``, i.e. ``ln y = a·(ln x)² + b·ln x`` (§5)."""
+
+    a: float = 0.0
+    b: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.name = "xlogx"
+
+    def _f(self, x):
+        lx = np.log(np.maximum(np.asarray(x, dtype=float), 1e-300))
+        return np.exp(self.a * lx**2 + self.b * lx)
+
+    def _f_inv(self, y):
+        # solve a·t² + b·t − ln y = 0 for t = ln x, take the root giving
+        # the larger x (runtime grows with volume on the fitted branch).
+        ly = np.log(y)
+        if self.a == 0:
+            return float(np.exp(ly / self.b))
+        disc = self.b**2 + 4 * self.a * ly
+        if disc < 0:
+            raise FitError("no real inverse for this target")
+        t = (-self.b + np.sqrt(disc)) / (2 * self.a)
+        return float(np.exp(t))
+
+    def inverse(self, y: float) -> float:
+        """Volume whose predicted time equals ``y`` (domain-checked)."""
+        if y <= 0:
+            raise FitError("xlogx model needs positive target time")
+        return float(self._f_inv(y))
+
+
+# -- fitting routines ---------------------------------------------------------
+
+
+def fit_linear(x, y) -> LinearPredictor:
+    """Fit ``y = a·x`` in log space (the paper's first family)."""
+    x, y = _validate(x, y, 1, positive_x=True, positive_y=True)
+    ln_a = float(np.mean(np.log(y) - np.log(x)))
+    p = LinearPredictor(a=float(np.exp(ln_a)))
+    p.x, p.y = x, y
+    return p
+
+
+def fit_affine(x, y, weights=None) -> AffinePredictor:
+    """OLS ``y = a + b·x``; optional per-point weights (§7 extension)."""
+    x, y = _validate(x, y, 2)
+    w = np.ones_like(x) if weights is None else np.asarray(weights, dtype=float)
+    if w.shape != x.shape or np.any(w < 0) or np.all(w == 0):
+        raise FitError("weights must be non-negative, same length, not all zero")
+    A = np.stack([np.ones_like(x), x], axis=1) * np.sqrt(w)[:, None]
+    coef, *_ = np.linalg.lstsq(A, y * np.sqrt(w), rcond=None)
+    p = AffinePredictor(a=float(coef[0]), b=float(coef[1]))
+    p.x, p.y = x, y
+    return p
+
+
+def fit_power(x, y) -> PowerPredictor:
+    """Fit ``y = a·x^b`` by log–log least squares."""
+    x, y = _validate(x, y, 2, positive_x=True, positive_y=True)
+    coef = np.polyfit(np.log(x), np.log(y), 1)
+    p = PowerPredictor(a=float(np.exp(coef[1])), b=float(coef[0]))
+    p.x, p.y = x, y
+    return p
+
+
+def fit_exponential(x, y) -> ExponentialPredictor:
+    """Fit ``y = a·e^{b·x}`` by semilog least squares."""
+    x, y = _validate(x, y, 2, positive_y=True)
+    coef = np.polyfit(x, np.log(y), 1)
+    p = ExponentialPredictor(a=float(np.exp(coef[1])), b=float(coef[0]))
+    p.x, p.y = x, y
+    return p
+
+
+def fit_xlogx(x, y) -> XLogXPredictor:
+    """Fit ``y = x^{a·ln x + b}`` (the §5 fourth family)."""
+    x, y = _validate(x, y, 3, positive_x=True, positive_y=True)
+    lx, ly = np.log(x), np.log(y)
+    coef = np.polyfit(lx, ly, 2)  # ly = a·lx² + b·lx + c; paper drops c
+    # Re-fit without intercept to match the paper's Y = aX² + bX form.
+    A = np.stack([lx**2, lx], axis=1)
+    ab, *_ = np.linalg.lstsq(A, ly, rcond=None)
+    p = XLogXPredictor(a=float(ab[0]), b=float(ab[1]))
+    p.x, p.y = x, y
+    return p
+
+
+def fit_all(x, y) -> list[Predictor]:
+    """Fit every candidate family that the data admits."""
+    fits: list[Predictor] = []
+    for fn in (fit_linear, fit_affine, fit_power, fit_exponential, fit_xlogx):
+        try:
+            fits.append(fn(x, y))
+        except FitError:
+            continue
+    if not fits:
+        raise FitError("no model family could be fitted")
+    return fits
+
+
+def select_best(fits: list[Predictor]) -> Predictor:
+    """Highest R² in the original space wins."""
+    if not fits:
+        raise FitError("empty candidate list")
+    return max(fits, key=lambda p: p.r2)

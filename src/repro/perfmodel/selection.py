@@ -1,0 +1,79 @@
+"""Preferred-unit-size selection (§4, last paragraph).
+
+"Collecting the results for all the sets of probes … we can inspect each
+probe set to identify a possible preferable unit file size where the
+execution time is minimal.  Sometimes we do not observe a single global
+minimum, but rather a plateau … We give preference to choosing the
+preferred unit file size as the minimum from later probe sets that are
+more stable."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.perfmodel.measurement import ProbeSetResult
+
+__all__ = ["PreferredUnit", "preferred_unit_size"]
+
+
+@dataclass(frozen=True)
+class PreferredUnit:
+    """The selection outcome.
+
+    ``label`` is ``"orig"`` (keep the original segmentation — the POS case)
+    or a unit size in bytes (the grep case).  ``plateau`` lists every
+    variant whose mean was within tolerance of the minimum.
+    """
+
+    label: str | int
+    mean_time: float
+    plateau: tuple[str | int, ...]
+    from_volume: int
+
+
+def preferred_unit_size(
+    probe_sets: Sequence[ProbeSetResult],
+    *,
+    plateau_tolerance: float = 0.05,
+    stability_cv: float = 0.25,
+) -> PreferredUnit:
+    """Pick the preferred unit size from measured probe sets.
+
+    Later (larger-volume) probe sets are preferred; within the chosen set,
+    all variants within ``plateau_tolerance`` of the minimal mean form the
+    plateau, and the *smallest* unit size on the plateau is returned
+    (smaller units keep more scheduling freedom at equal speed).  Unstable
+    variants (high CV) are excluded from the plateau unless everything is
+    unstable.
+    """
+    if not probe_sets:
+        raise ValueError("no probe sets to select from")
+    chosen = None
+    for ps in reversed(probe_sets):
+        if ps.stable(stability_cv):
+            chosen = ps
+            break
+    if chosen is None:
+        chosen = probe_sets[-1]
+
+    stable_variants = {
+        k: m for k, m in chosen.variants.items() if m.is_stable(stability_cv)
+    } or dict(chosen.variants)
+    best_mean = min(m.mean for m in stable_variants.values())
+    cutoff = best_mean * (1.0 + plateau_tolerance)
+    plateau = [k for k, m in stable_variants.items() if m.mean <= cutoff]
+
+    def sort_key(label):
+        # "orig" sorts before any size: it is the finest segmentation.
+        return (0, 0) if label == "orig" else (1, label)
+
+    plateau.sort(key=sort_key)
+    label = plateau[0]
+    return PreferredUnit(
+        label=label,
+        mean_time=chosen.variants[label].mean,
+        plateau=tuple(plateau),
+        from_volume=chosen.volume,
+    )

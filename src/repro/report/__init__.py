@@ -1,0 +1,13 @@
+"""Figure/table regeneration support.
+
+:mod:`repro.report.figures` holds the series containers and ASCII renderer
+the benchmark harness prints; :mod:`repro.report.compare` builds
+paper-vs-measured comparison rows for EXPERIMENTS.md.
+"""
+
+from repro.report.compare import ComparisonRow, ComparisonTable
+from repro.report.figures import FigureResult, Series, render_ascii
+from repro.report.gantt import render_gantt
+
+__all__ = ["Series", "FigureResult", "render_ascii", "render_gantt",
+           "ComparisonRow", "ComparisonTable"]

@@ -1,0 +1,59 @@
+"""Paper-vs-measured comparison rows.
+
+Benchmarks append rows here and print the table; the same rows populate
+EXPERIMENTS.md.  The reproduction targets *shape* agreement (who wins, by
+roughly what factor, where crossovers fall), so each row carries an
+explicit agreement verdict rather than pretending to match 2010 testbed
+absolute numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ComparisonRow", "ComparisonTable"]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    exp_id: str
+    quantity: str
+    paper: str
+    measured: str
+    agree: bool
+
+    def markdown(self) -> str:
+        """One markdown table row (or the whole table)."""
+        mark = "yes" if self.agree else "NO"
+        return f"| {self.exp_id} | {self.quantity} | {self.paper} | {self.measured} | {mark} |"
+
+
+@dataclass
+class ComparisonTable:
+    rows: list[ComparisonRow] = field(default_factory=list)
+
+    def add(self, exp_id: str, quantity: str, paper, measured, agree: bool) -> ComparisonRow:
+        """Append a paper-vs-measured row."""
+        row = ComparisonRow(exp_id=exp_id, quantity=quantity,
+                            paper=str(paper), measured=str(measured), agree=bool(agree))
+        self.rows.append(row)
+        return row
+
+    @property
+    def all_agree(self) -> bool:
+        return all(r.agree for r in self.rows)
+
+    def markdown(self) -> str:
+        """One markdown table row (or the whole table)."""
+        head = ("| experiment | quantity | paper | measured | agrees |\n"
+                "|---|---|---|---|---|")
+        return "\n".join([head] + [r.markdown() for r in self.rows])
+
+    def render(self) -> str:
+        """Plain-text rows with ok/!! agreement flags."""
+        w_q = max((len(r.quantity) for r in self.rows), default=8)
+        lines = []
+        for r in self.rows:
+            mark = "ok " if r.agree else "!! "
+            lines.append(f"{mark}[{r.exp_id}] {r.quantity:<{w_q}}  paper={r.paper}  measured={r.measured}")
+        return "\n".join(lines)

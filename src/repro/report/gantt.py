@@ -1,0 +1,53 @@
+"""ASCII Gantt rendering of fleet executions.
+
+Turns an :class:`~repro.runner.execute.ExecutionReport` into the
+per-instance bar chart the paper's Figs. 8–9 sketch: one row per instance,
+boot and work phases, the deadline as a vertical marker, misses flagged.
+"""
+
+from __future__ import annotations
+
+from repro.runner.execute import ExecutionReport
+from repro.units import fmt_seconds
+
+__all__ = ["render_gantt"]
+
+
+def render_gantt(report: ExecutionReport, *, width: int = 64,
+                 include_boot: bool = False) -> str:
+    """Render per-instance execution bars against the deadline.
+
+    ``=`` work, ``b`` boot (with ``include_boot``), ``|`` the deadline,
+    ``!`` marks instances that missed it.
+    """
+    if width < 20:
+        raise ValueError("width must be at least 20 columns")
+    if not report.runs:
+        return "(no instances ran)"
+    horizon = max(
+        max(r.duration + (r.boot_delay if include_boot else 0.0)
+            for r in report.runs),
+        report.deadline,
+    )
+    scale = (width - 1) / horizon if horizon > 0 else 0.0
+    deadline_col = int(report.deadline * scale)
+
+    id_w = max(len(r.instance_id) for r in report.runs)
+    lines = [
+        f"deadline {fmt_seconds(report.deadline)} at column marker '|'; "
+        f"strategy {report.strategy}"
+    ]
+    for r in report.runs:
+        boot_cols = int(r.boot_delay * scale) if include_boot else 0
+        work_cols = max(1, int(r.duration * scale))
+        bar = "b" * boot_cols + "=" * work_cols
+        bar = bar.ljust(width)
+        # overlay the deadline marker
+        if deadline_col < len(bar):
+            bar = bar[:deadline_col] + "|" + bar[deadline_col + 1:]
+        flag = " !" if r.missed(report.deadline, include_boot=include_boot) else ""
+        lines.append(f"{r.instance_id:>{id_w}} {bar} "
+                     f"{fmt_seconds(r.duration)}{flag}")
+    lines.append(f"{'':>{id_w}} makespan {fmt_seconds(report.makespan)}, "
+                 f"{report.n_missed} missed, {report.instance_hours} inst-h")
+    return "\n".join(lines)

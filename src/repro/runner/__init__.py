@@ -1,0 +1,32 @@
+"""Plan execution on the simulated cloud.
+
+:mod:`repro.runner.execute` runs a :class:`~repro.core.planner.ProvisioningPlan`
+on freshly launched instances — each instance processes its bin, misses are
+counted per instance against the user deadline (as in Figs. 8–9), and the
+ceil-hour bill is tallied.  :mod:`repro.runner.dynamic` adds the paper's §7
+future-work loop: monitor throughput, retire stragglers at low cost, and
+re-attach their EBS volume to a replacement.
+"""
+
+from repro.runner.dynamic import DynamicPolicy, execute_with_monitoring
+from repro.runner.ebs_plan import DeviceAssignment, execute_ebs_plan
+from repro.runner.event_driven import FleetTimeline, execute_plan_event_driven
+from repro.runner.execute import ExecutionReport, InstanceRun, execute_plan
+from repro.runner.fault_tolerant import CrashEvent, FaultPolicy, execute_fault_tolerant
+from repro.runner.quality import execute_quality_aware
+
+__all__ = [
+    "ExecutionReport",
+    "InstanceRun",
+    "execute_plan",
+    "DynamicPolicy",
+    "execute_with_monitoring",
+    "CrashEvent",
+    "FaultPolicy",
+    "execute_fault_tolerant",
+    "execute_quality_aware",
+    "FleetTimeline",
+    "execute_plan_event_driven",
+    "DeviceAssignment",
+    "execute_ebs_plan",
+]

@@ -1,0 +1,17 @@
+"""Deterministic simulation substrate.
+
+This package provides the two low-level services every other subsystem
+builds on:
+
+* :mod:`repro.sim.random` — hierarchical, named RNG streams forked from a
+  single campaign seed, so that adding a new consumer of randomness never
+  perturbs the draws seen by existing consumers.
+* :mod:`repro.sim.engine` — a small discrete-event engine with a binary-heap
+  scheduler, used by the EC2 simulator to model instance lifecycles and by
+  the plan runner to build per-instance timelines.
+"""
+
+from repro.sim.engine import Event, SimulationEngine
+from repro.sim.random import RngStream
+
+__all__ = ["Event", "SimulationEngine", "RngStream"]

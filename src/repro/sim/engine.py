@@ -1,0 +1,143 @@
+"""A deterministic discrete-event simulation engine.
+
+The EC2 simulator (:mod:`repro.cloud`) and the plan runner
+(:mod:`repro.runner`) are built on this engine.  It is intentionally small:
+a binary-heap scheduler with stable tie-breaking (events scheduled at the
+same simulated time fire in scheduling order), a monotonic clock, and a
+cancellation facility.
+
+Determinism contract
+--------------------
+Given the same sequence of ``schedule`` calls, ``run`` produces the same
+sequence of callbacks.  No wall-clock time is ever consulted; simulated time
+is a ``float`` number of seconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["Event", "SimulationEngine", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for scheduling in the past or a runaway simulation."""
+
+
+@dataclass(order=True)
+class _HeapEntry:
+    time: float
+    seq: int
+    event: "Event" = field(compare=False)
+
+
+@dataclass
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulated time (seconds) at which the callback fires.
+    callback:
+        Zero-argument callable invoked when the event fires.
+    label:
+        Human-readable tag used in traces and error messages.
+    """
+
+    time: float
+    callback: Callable[[], None]
+    label: str = ""
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class SimulationEngine:
+    """Binary-heap discrete-event scheduler with a monotonic clock."""
+
+    def __init__(self, max_events: int = 10_000_000) -> None:
+        self._heap: list[_HeapEntry] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._fired = 0
+        self.max_events = max_events
+
+    # -- clock -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        return self._fired
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule_at(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule {label or 'event'} at t={time} (now={self._now})"
+            )
+        ev = Event(time=time, callback=callback, label=label)
+        heapq.heappush(self._heap, _HeapEntry(time, next(self._seq), ev))
+        return ev
+
+    def schedule_in(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} for {label or 'event'}")
+        return self.schedule_at(self._now + delay, callback, label)
+
+    # -- execution -------------------------------------------------------
+
+    def step(self) -> Optional[Event]:
+        """Fire the next pending event; return it, or ``None`` if drained."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            ev = entry.event
+            if ev.cancelled:
+                continue
+            self._now = entry.time
+            self._fired += 1
+            if self._fired > self.max_events:
+                raise SimulationError(f"runaway simulation: >{self.max_events} events")
+            ev.callback()
+            return ev
+        return None
+
+    def run(self, until: float | None = None) -> float:
+        """Fire events until the heap drains (or simulated ``until`` passes).
+
+        Returns the final simulated time.  With ``until`` set, events at
+        times strictly greater than ``until`` remain pending and the clock
+        is advanced to ``until``.
+        """
+        while self._heap:
+            nxt = self._peek_time()
+            if until is not None and nxt is not None and nxt > until:
+                self._now = max(self._now, until)
+                return self._now
+            if self.step() is None:
+                break
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now
+
+    def _peek_time(self) -> Optional[float]:
+        while self._heap and self._heap[0].event.cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-fired, not-cancelled events."""
+        return sum(1 for e in self._heap if not e.event.cancelled)

@@ -1,0 +1,37 @@
+"""Byte/time unit helpers shared across the project.
+
+The paper mixes kB/MB/GB freely (and bins Fig. 1(a) in "multiples of 10K");
+constants here keep every module on the same decimal convention (1 kB =
+1000 B), matching how file sizes are reported in the paper.
+"""
+
+from __future__ import annotations
+
+__all__ = ["KB", "MB", "GB", "HOUR", "MINUTE", "fmt_bytes", "fmt_seconds"]
+
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+MINUTE = 60.0
+HOUR = 3600.0
+
+
+def fmt_bytes(n: int | float) -> str:
+    """Human-readable decimal byte count (``1500000 -> '1.5 MB'``)."""
+    n = float(n)
+    for unit, div in (("GB", GB), ("MB", MB), ("kB", KB)):
+        if abs(n) >= div:
+            return f"{n / div:.4g} {unit}"
+    return f"{n:.0f} B"
+
+
+def fmt_seconds(t: float) -> str:
+    """Human-readable duration (``3725 -> '1h 02m 05s'``)."""
+    if t < 60:
+        return f"{t:.3g}s"
+    m, s = divmod(int(round(t)), 60)
+    h, m = divmod(m, 60)
+    if h:
+        return f"{h}h {m:02d}m {s:02d}s"
+    return f"{m}m {s:02d}s"

@@ -1,0 +1,19 @@
+"""Virtual file system for corpora far larger than local disk.
+
+The paper's data sets (900 GB of HTML, 18 million files) cannot and need not
+be materialised: every experiment consumes either (a) file *metadata* — size,
+token statistics — or (b) the actual bytes of a *small* probe subset.  This
+package provides:
+
+* :class:`VirtualFile` — size + text statistics + a deterministic,
+  seed-derived content generator, so ``materialize()`` always yields the
+  same bytes without storing them;
+* :class:`Segment` — the concatenation of several virtual files, which is
+  exactly what the reshaper produces (unit files built by merging);
+* :class:`Catalogue` — an ordered collection with totals, slicing, volume
+  sampling and histogramming.
+"""
+
+from repro.vfs.files import Catalogue, LiteralFile, Segment, TextStats, VirtualFile
+
+__all__ = ["Catalogue", "LiteralFile", "Segment", "TextStats", "VirtualFile"]

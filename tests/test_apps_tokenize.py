@@ -1,0 +1,59 @@
+"""Tests for tokenisation utilities."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.tokenize import sentences, strip_markup, tokenize
+
+
+class TestStripMarkup:
+    def test_removes_tags(self):
+        assert strip_markup("<p>hello <b>world</b></p>").split() == ["hello", "world"]
+
+    def test_plain_text_untouched(self):
+        assert strip_markup("no tags here") == "no tags here"
+
+    def test_empty(self):
+        assert strip_markup("") == ""
+
+
+class TestTokenize:
+    def test_words_and_punct(self):
+        assert tokenize("The cat, sat.") == ["The", "cat", ",", "sat", "."]
+
+    def test_contractions_kept_whole(self):
+        assert "don't" in tokenize("I don't know.")
+
+    def test_numbers(self):
+        assert tokenize("room 42 costs 9.5 units") == ["room", "42", "costs", "9.5", "units"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+    @given(st.text(alphabet=st.characters(codec="ascii"), max_size=300))
+    @settings(max_examples=80)
+    def test_never_raises(self, text):
+        tokenize(text)
+
+
+class TestSentences:
+    def test_splits_on_terminators(self):
+        sents = sentences("One two. Three four! Five?")
+        assert len(sents) == 3
+        assert sents[0] == ["One", "two", "."]
+
+    def test_trailing_fragment_kept(self):
+        sents = sentences("Complete. trailing words")
+        assert len(sents) == 2
+        assert sents[1] == ["trailing", "words"]
+
+    def test_no_token_dropped(self):
+        text = "A b c. D e! F"
+        flat = [t for s in sentences(text) for t in s]
+        assert flat == tokenize(text)
+
+    @given(st.text(alphabet=st.characters(codec="ascii"), max_size=300))
+    @settings(max_examples=80)
+    def test_sentences_partition_tokens(self, text):
+        flat = [t for s in sentences(text) for t in s]
+        assert flat == tokenize(text)

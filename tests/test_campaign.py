@@ -1,0 +1,119 @@
+"""End-to-end campaign integration tests (acquire→probe→fit→reshape→plan→run)."""
+
+import pytest
+
+from repro.apps import (
+    GrepApplication,
+    GrepCostProfile,
+    PosCostProfile,
+    PosTaggerApplication,
+)
+from repro.cloud import Cloud, Workload
+from repro.core import Campaign
+from repro.corpus import text_400k_like
+from repro.units import KB, MB
+
+
+def pos_campaign(seed=101, scale=0.02, use_ebs=False):
+    cloud = Cloud(seed=seed)
+    wl = Workload("postag", PosTaggerApplication(), PosCostProfile())
+    cat = text_400k_like(scale=scale)
+    return Campaign(cloud, wl, cat, use_ebs=use_ebs, probe_repeats=3), cloud
+
+
+class TestCampaignEndToEnd:
+    def test_full_pipeline_produces_consistent_result(self):
+        campaign, cloud = pos_campaign()
+        result = campaign.run(
+            deadline=120.0,
+            initial_volume=100 * KB,
+            unit_sizes_for=lambda v: [1 * KB, 10 * KB],
+        )
+        # acquisition happened
+        assert result.acquisition_attempts >= 1
+        # probes were measured and a unit size picked
+        assert len(result.probe_sets) >= 1
+        assert result.preferred.label == "orig" or isinstance(result.preferred.label, int)
+        # the model fits the probe observations well
+        assert result.model.r2 > 0.95
+        # the reshape plan covers the catalogue exactly
+        assert result.reshape_plan.total_size == campaign.catalogue.total_size
+        # the plan covers every unit and the run happened
+        assert result.plan.total_volume == campaign.catalogue.total_size
+        assert result.report.n_instances == result.plan.n_instances
+        assert result.report.makespan > 0
+        # billing: probe instance + any rejected + fleet
+        assert cloud.ledger.total_cost > 0
+
+    def test_pos_prefers_original_segmentation(self):
+        """Fig. 7's conclusion should fall out of the pipeline itself."""
+        campaign, _ = pos_campaign(seed=103)
+        result = campaign.run(
+            deadline=120.0,
+            initial_volume=200 * KB,
+            unit_sizes_for=lambda v: [50 * KB, 200 * KB],
+        )
+        assert result.preferred.label == "orig"
+        assert result.reshape_plan.unit_size is None
+
+    def test_grep_prefers_merged_units(self):
+        """§5.1's conclusion: grep wants big unit files."""
+        cloud = Cloud(seed=104)
+        wl = Workload("grep", GrepApplication(), GrepCostProfile())
+        cat = text_400k_like(scale=0.05)
+        campaign = Campaign(cloud, wl, cat, use_ebs=True, probe_repeats=3)
+        result = campaign.run(
+            deadline=60.0,
+            initial_volume=2 * MB,
+            unit_sizes_for=lambda v: [500 * KB, 2 * MB, 10 * MB],
+        )
+        assert isinstance(result.preferred.label, int)
+        assert result.preferred.label >= 500 * KB
+        assert result.reshape_plan.n_units < len(cat)
+
+    def test_adjusted_deadline_plans_more_conservatively(self):
+        base_c, _ = pos_campaign(seed=105)
+        base = base_c.run(
+            deadline=60.0, initial_volume=100 * KB,
+            unit_sizes_for=lambda v: [10 * KB],
+        )
+        adj_c, _ = pos_campaign(seed=105)
+        adj = adj_c.run(
+            deadline=60.0, initial_volume=100 * KB,
+            unit_sizes_for=lambda v: [10 * KB],
+            use_adjusted_deadline=True,
+        )
+        assert adj.plan.planning_deadline < base.plan.planning_deadline
+        assert adj.plan.n_instances >= base.plan.n_instances
+
+    def test_refit_changes_model(self):
+        campaign, _ = pos_campaign(seed=106, scale=0.05)
+        result = campaign.run(
+            deadline=120.0, initial_volume=200 * KB,
+            unit_sizes_for=lambda v: [10 * KB],
+            refit_samples=2, sample_volume=1 * MB,
+        )
+        assert result.refit_model is not None
+        assert result.refit_model.b != result.model.b
+        assert result.final_model is result.refit_model
+
+    def test_summary_keys(self):
+        campaign, _ = pos_campaign(seed=107)
+        result = campaign.run(
+            deadline=120.0, initial_volume=100 * KB,
+            unit_sizes_for=lambda v: [10 * KB],
+        )
+        s = result.summary()
+        for key in ("acquisition_attempts", "preferred_unit", "model",
+                    "instances", "missed", "cost_usd"):
+            assert key in s
+
+    def test_campaign_deterministic(self):
+        def run(seed):
+            c, _ = pos_campaign(seed=seed)
+            r = c.run(deadline=120.0, initial_volume=100 * KB,
+                      unit_sizes_for=lambda v: [10 * KB])
+            return (r.model.a, r.model.b, r.report.makespan)
+
+        assert run(42) == run(42)
+        assert run(42) != run(43)

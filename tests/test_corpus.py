@@ -1,0 +1,195 @@
+"""Tests for the synthetic corpus substrate (distributions, text, datasets)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus import (
+    LongTailSizeDistribution,
+    TextProfile,
+    agnes_grey_like,
+    dubliners_like,
+    generate_text,
+    html_18mil_like,
+    synthesize_novel,
+    text_400k_like,
+)
+from repro.corpus.datasets import (
+    AGNES_GREY_WORDS,
+    DUBLINERS_WORDS,
+    HTML_18MIL_DIST,
+    TEXT_400K_DIST,
+)
+from repro.sim.random import RngStream
+from repro.units import KB, MB
+
+
+class TestLongTailDistribution:
+    def test_sample_bounds(self):
+        sizes = HTML_18MIL_DIST.sample(RngStream(1), 5000)
+        assert sizes.min() >= HTML_18MIL_DIST.min_size
+        assert sizes.max() <= HTML_18MIL_DIST.max_size
+
+    def test_sample_deterministic(self):
+        a = HTML_18MIL_DIST.sample(RngStream(5), 100)
+        b = HTML_18MIL_DIST.sample(RngStream(5), 100)
+        assert np.array_equal(a, b)
+
+    def test_long_tail_shape(self):
+        """Mean well above median is the long-tail signature."""
+        sizes = HTML_18MIL_DIST.sample(RngStream(2), 20_000)
+        assert sizes.mean() > 1.3 * np.median(sizes)
+
+    def test_empty_sample(self):
+        assert HTML_18MIL_DIST.sample(RngStream(1), 0).size == 0
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            HTML_18MIL_DIST.sample(RngStream(1), -1)
+
+    def test_ensure_max_present(self):
+        sizes = TEXT_400K_DIST.sample(RngStream(3), 500)
+        pinned = TEXT_400K_DIST.ensure_max_present(sizes)
+        assert pinned.max() == TEXT_400K_DIST.max_size
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LongTailSizeDistribution(1000, 1.0, 1.5, 1.0, 1000, 1, 100)
+        with pytest.raises(ValueError):
+            LongTailSizeDistribution(1000, 1.0, 0.1, 1.0, 1000, 100, 10)
+
+
+class TestGenerateText:
+    def test_exact_size(self):
+        for n in (0, 1, 10, 1000, 5000):
+            assert len(generate_text(RngStream(1), n)) == n
+
+    def test_deterministic(self):
+        assert generate_text(RngStream(4), 800) == generate_text(RngStream(4), 800)
+
+    def test_html_mode_has_markup(self):
+        text = generate_text(RngStream(2), 2000, TextProfile(html=True))
+        assert "<p>" in text and "<html>" in text
+
+    def test_plain_mode_no_markup(self):
+        text = generate_text(RngStream(2), 2000, TextProfile(html=False))
+        assert "<p>" not in text
+
+    def test_sentence_length_knob(self):
+        short = generate_text(RngStream(3), 20_000, TextProfile(avg_sentence_words=8, sentence_words_sd=2))
+        long_ = generate_text(RngStream(3), 20_000, TextProfile(avg_sentence_words=30, sentence_words_sd=2))
+
+        def mean_sentence_words(t):
+            import re
+            sents = [s for s in re.split(r"[.!?]", t) if s.split()]
+            return np.mean([len(s.split()) for s in sents])
+
+        assert mean_sentence_words(long_) > 1.5 * mean_sentence_words(short)
+
+    def test_ascii_only(self):
+        generate_text(RngStream(5), 3000).encode("ascii")
+
+    def test_invalid_profile(self):
+        with pytest.raises(ValueError):
+            TextProfile(avg_sentence_words=1)
+        with pytest.raises(ValueError):
+            TextProfile(subordinate_rate=2.0)
+
+    @given(st.integers(min_value=0, max_value=3000), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=30, deadline=2000)
+    def test_size_always_exact(self, n, seed):
+        assert len(generate_text(RngStream(seed), n)) == n
+
+
+class TestSynthesizeNovel:
+    def test_exact_word_count(self):
+        text = synthesize_novel(RngStream(1), 500, TextProfile())
+        assert len(text.split()) == 500
+
+    def test_zero_words(self):
+        assert synthesize_novel(RngStream(1), 0, TextProfile()) == ""
+
+
+class TestDatasets:
+    def test_html_dataset_shape(self):
+        cat = html_18mil_like(scale=2e-4, seed=99)
+        d = cat.describe()
+        assert d["files"] == 3600
+        # majority under 50 kB
+        under = sum(1 for f in cat if f.size < 50 * KB)
+        assert under / len(cat) > 0.6
+        # long tail reaches the pinned maximum
+        assert cat.max_file_size == 43 * MB
+        # mean near 50 kB (900 GB / 18 M files), generous band
+        assert 25 * KB < d["mean"] < 110 * KB
+
+    def test_text_dataset_shape(self):
+        cat = text_400k_like(scale=5e-3, seed=7)
+        assert len(cat) == 2000
+        under = sum(1 for f in cat if f.size < 5 * KB)
+        assert under / len(cat) > 0.55
+        assert cat.max_file_size == 705 * KB
+        d = cat.describe()
+        assert 1.5 * KB < d["mean"] < 5 * KB
+
+    def test_datasets_deterministic(self):
+        a = text_400k_like(scale=1e-3, seed=1)
+        b = text_400k_like(scale=1e-3, seed=1)
+        assert [f.size for f in a] == [f.size for f in b]
+        assert [f.path for f in a] == [f.path for f in b]
+
+    def test_seed_changes_sizes(self):
+        a = text_400k_like(scale=1e-3, seed=1)
+        b = text_400k_like(scale=1e-3, seed=2)
+        assert [f.size for f in a] != [f.size for f in b]
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            html_18mil_like(scale=0)
+        with pytest.raises(ValueError):
+            text_400k_like(scale=-1)
+
+    def test_paths_sort_in_original_order(self):
+        cat = text_400k_like(scale=1e-3)
+        paths = [f.path for f in cat]
+        assert paths == sorted(paths)
+
+    def test_head_complexity_boost(self):
+        """Probe head must be more complex than the catalogue average
+        (drives the Eq. (3) vs Eq. (4) slope difference)."""
+        cat = text_400k_like(scale=5e-3)
+        slens = [f.stats.avg_sentence_words for f in cat]
+        head = np.mean(slens[: len(slens) // 10])
+        overall = np.mean(slens)
+        assert head > overall + 0.5
+
+    def test_html_files_marked_as_markup(self):
+        cat = html_18mil_like(scale=1e-4)
+        assert all(f.stats.markup_fraction > 0 for f in cat)
+
+    def test_materialize_small_file(self):
+        cat = text_400k_like(scale=1e-3)
+        f = min(cat, key=lambda f: f.size)
+        data = f.materialize()
+        assert len(data) == f.size
+
+
+class TestNovels:
+    def test_word_counts_match_paper(self):
+        assert dubliners_like().n_words == DUBLINERS_WORDS
+        assert agnes_grey_like().n_words == AGNES_GREY_WORDS
+
+    def test_word_count_gap_small(self):
+        assert abs(dubliners_like().n_words - agnes_grey_like().n_words) < 300
+
+    def test_complexity_differs(self):
+        dub, agnes = dubliners_like(), agnes_grey_like()
+        assert dub.stats().avg_sentence_words > 1.5 * agnes.stats().avg_sentence_words
+
+    def test_virtual_file_size_matches_text(self):
+        dub = dubliners_like()
+        assert dub.virtual_file().size == len(dub.text.encode("ascii"))
+
+    def test_deterministic(self):
+        assert dubliners_like(seed=5).text == dubliners_like(seed=5).text

@@ -1,0 +1,77 @@
+"""Tests for the §5.1 device-granular execution path."""
+
+import numpy as np
+import pytest
+
+from repro.apps import GrepApplication, GrepCostProfile
+from repro.cloud import Cloud, Workload
+from repro.core.planner import PlanError
+from repro.corpus import html_18mil_like
+from repro.perfmodel.regression import fit_affine
+from repro.runner.ebs_plan import execute_ebs_plan
+from repro.units import GB
+
+
+def grep_model():
+    x = np.array([1e8, 1e9, 1e10])
+    return fit_affine(x, 0.2 + 1.33e-8 * x)
+
+
+def grep_workload():
+    return Workload("grep", GrepApplication(), GrepCostProfile())
+
+
+@pytest.fixture(scope="module")
+def run_out():
+    cloud = Cloud(seed=91)
+    cat = html_18mil_like(scale=1.1e-3)    # ~0.93 GB
+    # deadline admitting ~0.25 GB per instance -> several instances
+    deadline = float(grep_model().predict(0.25 * GB))
+    report, assignments = execute_ebs_plan(
+        cloud, grep_workload(), cat, grep_model(), deadline, n_devices=10)
+    return cloud, cat, report, assignments
+
+
+class TestExecuteEbsPlan:
+    def test_all_devices_consumed_once(self, run_out):
+        _, cat, report, assignments = run_out
+        device_ids = [d for a in assignments for d in a.device_ids]
+        assert len(device_ids) == len(set(device_ids)) == 10
+
+    def test_volume_conserved(self, run_out):
+        _, cat, report, _ = run_out
+        assert sum(r.volume for r in report.runs) == cat.total_size
+
+    def test_devices_per_instance_respected(self, run_out):
+        _, _, report, assignments = run_out
+        sizes = {len(a.device_ids) for a in assignments[:-1]}  # last may be short
+        assert len(sizes) <= 1
+
+    def test_placement_factors_recorded(self, run_out):
+        _, _, _, assignments = run_out
+        factors = [f for a in assignments for f in a.placement_factors]
+        assert all(f >= 1.0 for f in factors)
+
+    def test_volumes_detached_after_run(self, run_out):
+        cloud, _, _, _ = run_out
+        assert all(v.attached_to is None for v in cloud.volumes)
+
+    def test_billing_covers_fleet(self, run_out):
+        cloud, _, report, _ = run_out
+        assert cloud.ledger.total_instance_hours >= report.n_instances
+
+    def test_too_fine_deadline_rejected(self):
+        cloud = Cloud(seed=92)
+        cat = html_18mil_like(scale=1.1e-3)
+        # deadline admitting less than one device per instance
+        tight = float(grep_model().predict(cat.total_size / 50))
+        with pytest.raises(PlanError):
+            execute_ebs_plan(cloud, grep_workload(), cat, grep_model(),
+                             tight, n_devices=10)
+
+    def test_device_count_validation(self):
+        cloud = Cloud(seed=93)
+        cat = html_18mil_like(scale=1e-4)
+        with pytest.raises(PlanError):
+            execute_ebs_plan(cloud, grep_workload(), cat, grep_model(),
+                             100.0, n_devices=0)

@@ -1,0 +1,82 @@
+"""Differential tests: event-driven runner vs arithmetic runner."""
+
+import numpy as np
+import pytest
+
+from repro.apps import PosCostProfile, PosTaggerApplication
+from repro.cloud import Cloud, Workload
+from repro.core import StaticProvisioner, reshape
+from repro.corpus import text_400k_like
+from repro.perfmodel.regression import fit_affine
+from repro.runner import execute_plan
+from repro.runner.event_driven import FleetTimeline, execute_plan_event_driven
+
+
+def pos_workload():
+    return Workload("postag", PosTaggerApplication(), PosCostProfile())
+
+
+def make_plan(deadline=30.0, scale=2e-3, strategy="uniform"):
+    x = np.array([1e5, 1e6, 5e6])
+    model = fit_affine(x, 0.327 + 0.865e-4 * x)
+    cat = text_400k_like(scale=scale)
+    return StaticProvisioner(model).plan(
+        list(reshape(cat, None).units), deadline, strategy=strategy)
+
+
+class TestDifferentialEquality:
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    @pytest.mark.parametrize("strategy", ["uniform", "first-fit"])
+    def test_reports_identical(self, seed, strategy):
+        plan = make_plan(strategy=strategy)
+        wl = pos_workload()
+        arith = execute_plan(Cloud(seed=seed), wl, plan)
+        event, _ = execute_plan_event_driven(Cloud(seed=seed), wl, plan)
+        assert [r.duration for r in arith.runs] == [r.duration for r in event.runs]
+        assert [r.instance_id for r in arith.runs] == [r.instance_id for r in event.runs]
+        assert arith.makespan == event.makespan
+        assert arith.n_missed == event.n_missed
+        assert arith.instance_hours == event.instance_hours
+
+    def test_ledgers_identical(self):
+        plan = make_plan()
+        wl = pos_workload()
+        ca, cb = Cloud(seed=5), Cloud(seed=5)
+        execute_plan(ca, wl, plan)
+        execute_plan_event_driven(cb, wl, plan)
+        a = [(r.instance_id, r.hours, r.cost) for r in ca.ledger.records]
+        b = [(r.instance_id, r.hours, r.cost) for r in cb.ledger.records]
+        assert a == b
+
+
+class TestTimeline:
+    def test_completion_counts_monotone(self):
+        plan = make_plan()
+        _, timeline = execute_plan_event_driven(Cloud(seed=9), pos_workload(), plan)
+        completed = [c for _, _, c in timeline.points]
+        assert completed == sorted(completed)
+        assert completed[-1] == plan.n_instances
+
+    def test_working_plus_completed_is_fleet(self):
+        plan = make_plan()
+        _, timeline = execute_plan_event_driven(Cloud(seed=9), pos_workload(), plan)
+        for _, working, completed in timeline.points:
+            assert working + completed == plan.n_instances
+
+    def test_times_nondecreasing(self):
+        plan = make_plan()
+        _, timeline = execute_plan_event_driven(Cloud(seed=9), pos_workload(), plan)
+        times = timeline.completion_times
+        assert times == sorted(times)
+
+    def test_completed_at_queries(self):
+        plan = make_plan()
+        _, timeline = execute_plan_event_driven(Cloud(seed=9), pos_workload(), plan)
+        t_last = timeline.points[-1][0]
+        assert timeline.completed_at(t_last) == plan.n_instances
+        assert timeline.completed_at(0.0) == 0
+
+    def test_empty_timeline(self):
+        t = FleetTimeline()
+        assert t.completed_at(100.0) == 0
+        assert t.completion_times == []

@@ -1,0 +1,68 @@
+"""Tests for per-instance miss probabilities and expected miss counts."""
+
+import numpy as np
+import pytest
+
+from repro.core import ResidualAnalysis, expected_misses, miss_probability_of
+from repro.perfmodel.regression import fit_affine
+
+
+def noisy_model(rel=0.15, seed=1):
+    rng = np.random.default_rng(seed)
+    x = np.linspace(1e5, 1e7, 30)
+    y = (0.3 + 0.9e-4 * x) * (1 + rng.normal(0, rel, x.size))
+    return fit_affine(x, y)
+
+
+class TestMissProbability:
+    def test_half_at_predicted_equals_deadline(self):
+        ra = ResidualAnalysis(mu=0.0, sigma=0.2, n=20)
+        assert miss_probability_of(3600.0, 3600.0, ra) == pytest.approx(0.5)
+
+    def test_monotone_in_predicted_time(self):
+        ra = ResidualAnalysis(mu=0.0, sigma=0.2, n=20)
+        ps = [miss_probability_of(t, 3600.0, ra) for t in (1800, 3000, 3600, 4200)]
+        assert ps == sorted(ps)
+
+    def test_bias_shifts_probability(self):
+        optimistic = ResidualAnalysis(mu=0.2, sigma=0.1, n=20)  # underestimates
+        unbiased = ResidualAnalysis(mu=0.0, sigma=0.1, n=20)
+        assert (miss_probability_of(3400.0, 3600.0, optimistic)
+                > miss_probability_of(3400.0, 3600.0, unbiased))
+
+    def test_zero_predicted(self):
+        ra = ResidualAnalysis(mu=0.0, sigma=0.2, n=20)
+        assert miss_probability_of(0.0, 3600.0, ra) == 0.0
+
+    def test_degenerate_sigma(self):
+        ra = ResidualAnalysis(mu=0.0, sigma=0.0, n=20)
+        assert miss_probability_of(3700.0, 3600.0, ra) == 1.0
+        assert miss_probability_of(3500.0, 3600.0, ra) == 0.0
+
+
+class TestExpectedMisses:
+    def test_bounds(self):
+        model = noisy_model()
+        times = [3500.0] * 10
+        em = expected_misses(times, 3600.0, model)
+        assert 0.0 <= em <= 10.0
+
+    def test_tighter_plans_expect_more_misses(self):
+        model = noisy_model()
+        full = [3590.0] * 10     # bins planned right at the deadline
+        slack = [3000.0] * 10
+        assert (expected_misses(full, 3600.0, model)
+                > expected_misses(slack, 3600.0, model))
+
+    def test_adjusted_deadline_hits_target_rate(self):
+        """Planning against D/(1+a) should push each instance's miss odds
+        to ≈ the 10% design point — the calibration the §5.2 machinery
+        promises."""
+        from repro.core import adjusted_deadline, adjustment_factor
+
+        model = noisy_model(rel=0.12, seed=3)
+        a = adjustment_factor(model, 0.10)
+        d_adj = adjusted_deadline(3600.0, a)
+        # an instance whose predicted time fills the adjusted deadline
+        em = expected_misses([d_adj], 3600.0, model)
+        assert em == pytest.approx(0.10, abs=0.03)

@@ -1,0 +1,108 @@
+"""Smoke tests for the experiment modules at reduced scale.
+
+The benchmarks assert the paper's shape claims at full experiment scale;
+these tests only pin the structural contract of each experiment function
+(figure ids, output keys, determinism), fast enough for the unit suite.
+"""
+
+import pytest
+
+from repro.experiments import exp_fig1, exp_fig2, exp_grep, exp_pos, exp_side
+from repro.report.figures import FigureResult
+
+
+class TestFig1Smoke:
+    def test_fig1a_structure(self):
+        fig, stats = exp_fig1.fig1a(scale=2e-5)
+        assert isinstance(fig, FigureResult) and fig.fig_id == "Fig1a"
+        assert stats["files"] == 360
+        assert 0 <= stats["frac_under_50kb"] <= 1
+
+    def test_fig1b_structure(self):
+        fig, stats = exp_fig1.fig1b(scale=1e-3)
+        assert fig.fig_id == "Fig1b"
+        assert stats["files"] == 400
+
+
+class TestFig2Smoke:
+    def test_rules_and_series(self):
+        fig, out = exp_fig2.fig2()
+        assert len(fig.series) == 2
+        assert out["convex_rule"] == "start-new-instances"
+        assert out["concave_rule"] == "pack-to-deadline"
+        assert out["convex_marginal"]["first_hour"] > 0
+
+
+class TestGrepSmoke:
+    @pytest.fixture(scope="class")
+    def tb(self):
+        return exp_grep.make_testbed(scale=2e-4, repeats=2)
+
+    def test_fig3(self, tb):
+        fig, out = exp_grep.fig3(tb)
+        assert fig.fig_id == "Fig3"
+        assert out["max_cv"] >= 0
+        assert len(out["means"]) == 5  # orig + 4 unit sizes
+
+    def test_fig4_structure(self, tb):
+        fig, out = exp_grep.fig4(tb)
+        assert fig.fig_id == "Fig4"
+        for key in ("orig_over_plateau", "plateau_spread", "small_unit_penalty"):
+            assert key in out
+
+    def test_testbed_instance_is_vetted(self, tb):
+        assert tb.instance.io_factor > 0.7
+        assert tb.volume.attached_to is tb.instance
+
+
+class TestPosSmoke:
+    @pytest.fixture(scope="class")
+    def tb(self):
+        return exp_pos.make_testbed(scale=0.02, repeats=2)
+
+    def test_fig7_structure(self, tb):
+        fig, out = exp_pos.fig7(tb)
+        assert fig.fig_id == "Fig7"
+        assert out["n_orig_files"] > out["n_1kb_units"]
+        assert "orig" in out["means"]
+
+    def test_eq3_fit(self, tb):
+        from repro.units import KB, MB
+
+        model = exp_pos.fit_eq3(tb, volumes=(100 * KB, 500 * KB, 2 * MB))
+        assert model.b > 0
+        assert model.r2 > 0.95
+
+    def test_fig8_structure(self, tb):
+        fig, out = exp_pos.fig8(tb, deadline=120.0)
+        assert set(out["variants"]) == {
+            "8a_first_fit_model3", "8b_uniform_model3",
+            "8c_uniform_model4", "8d_adjusted_model4",
+        }
+        for v in out["variants"].values():
+            assert v["instances"] >= 1
+            assert len(v["durations"]) >= 1
+
+    def test_novels_structure(self):
+        fig, out = exp_pos.novels()
+        assert out["word_gap"] < 300
+        assert out["ratio"] > 1.0
+
+
+class TestSideSmoke:
+    def test_switching_numbers(self):
+        _, out = exp_side.instance_switching()
+        assert out["swap_fast_gb"] > out["keep_gb"] > out["swap_slow_gb"]
+
+    def test_protocol_trace(self):
+        _, out = exp_side.probe_protocol_trace()
+        assert out["rounds"] >= 1
+        assert len(out["volumes"]) == out["rounds"]
+
+    def test_retrieval(self):
+        _, out = exp_side.output_retrieval(n_fragments=20)
+        assert out["speedup"] > 1.0
+
+    def test_spot(self):
+        _, out = exp_side.spot_tradeoff(work_hours=5.0, horizon=100)
+        assert len(out["bids"]) == 5

@@ -1,0 +1,74 @@
+"""Tests for figure JSON round-trips and campaign-integrated refinement."""
+
+import pytest
+
+from repro.apps import GrepApplication, GrepCostProfile
+from repro.cloud import Cloud, Workload
+from repro.core import Campaign
+from repro.corpus import text_400k_like
+from repro.report import FigureResult
+from repro.units import KB, MB
+
+
+class TestFigureSerialisation:
+    def make(self):
+        fig = FigureResult("FigZ", "round trip")
+        fig.add("s1", [1, 2, 3], [1.0, 2.0, 3.0], yerr=[0.1, 0.2, 0.3])
+        fig.add("s2", ["a", "b"], [5.0, 6.0])
+        fig.note("hello")
+        return fig
+
+    def test_roundtrip(self, tmp_path):
+        fig = self.make()
+        path = tmp_path / "fig.json"
+        fig.save(path)
+        loaded = FigureResult.load(path)
+        assert loaded.fig_id == fig.fig_id and loaded.title == fig.title
+        assert loaded.notes == fig.notes
+        assert len(loaded.series) == 2
+        assert loaded.series[0].y == fig.series[0].y
+        assert loaded.series[0].yerr == fig.series[0].yerr
+        assert loaded.series[1].yerr is None
+
+    def test_to_dict_shape(self):
+        d = self.make().to_dict()
+        assert set(d) == {"fig_id", "title", "series", "notes"}
+        assert d["series"][0]["label"] == "s1"
+
+
+class TestCampaignRefinement:
+    def test_refined_campaign_still_consistent(self):
+        cloud = Cloud(seed=201)
+        wl = Workload("grep", GrepApplication(), GrepCostProfile())
+        cat = text_400k_like(scale=0.05)
+        campaign = Campaign(cloud, wl, cat, use_ebs=True, probe_repeats=2)
+        result = campaign.run(
+            deadline=60.0,
+            initial_volume=2 * MB,
+            unit_sizes_for=lambda v: [200 * KB, 2 * MB, 10 * MB],
+            refine_rounds=2,
+        )
+        assert isinstance(result.preferred.label, int)
+        # volume conservation still holds through any refined unit size
+        assert result.reshape_plan.total_size == cat.total_size
+        assert result.plan.total_volume == cat.total_size
+        # grep probes at these tiny volumes are setup-noise dominated
+        # (the Fig. 3 lesson), so only the slope's sign is dependable
+        assert result.model.b > 0
+
+    def test_refinement_never_picks_worse(self):
+        """With refinement on, the selected mean can only improve."""
+        def run(refine_rounds):
+            cloud = Cloud(seed=202)
+            wl = Workload("grep", GrepApplication(), GrepCostProfile())
+            cat = text_400k_like(scale=0.05)
+            campaign = Campaign(cloud, wl, cat, use_ebs=True, probe_repeats=2)
+            return campaign.run(
+                deadline=60.0, initial_volume=2 * MB,
+                unit_sizes_for=lambda v: [200 * KB, 2 * MB, 10 * MB],
+                refine_rounds=refine_rounds,
+            )
+
+        base = run(0)
+        refined = run(3)
+        assert refined.preferred.mean_time <= base.preferred.mean_time + 1e-9

@@ -1,0 +1,73 @@
+"""History persistence round-trips and text/tagger realism checks."""
+
+import pytest
+
+from repro.apps import PosTaggerApplication
+from repro.corpus import text_400k_like
+from repro.perfmodel import RunHistory
+
+
+class TestHistoryPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        h = RunHistory()
+        h.record("grep", 1000, 1.5, instance_id="i-1", n_units=3)
+        h.record("postag", 2000, 9.0)
+        path = tmp_path / "history.jsonl"
+        h.save(path)
+        loaded = RunHistory.load(path)
+        assert len(loaded) == 2
+        assert loaded.for_app("grep")[0].instance_id == "i-1"
+        assert loaded.for_app("postag")[0].seconds == 9.0
+
+    def test_empty_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        RunHistory().save(path)
+        assert len(RunHistory.load(path)) == 0
+
+    def test_corrupt_line_reported_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"app": "grep", "volume": 10, "seconds": 1.0}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            RunHistory.load(path)
+
+    def test_invalid_record_rejected_on_load(self, tmp_path):
+        path = tmp_path / "neg.jsonl"
+        path.write_text('{"app": "grep", "volume": -5, "seconds": 1.0}\n')
+        with pytest.raises(ValueError):
+            RunHistory.load(path)
+
+
+class TestTagDistributionRealism:
+    """The tagger's output on generated news text should look like English:
+    nouns dominate the open class, determiners and prepositions are
+    frequent, and every token receives a tag."""
+
+    @pytest.fixture(scope="class")
+    def tag_counts(self):
+        units = list(text_400k_like(scale=5e-4))[:60]
+        result = PosTaggerApplication().run_native(units)
+        return result.outputs["tag_counts"], result.work
+
+    def test_nouns_most_common_open_class(self, tag_counts):
+        counts, _ = tag_counts
+        open_class = {t: counts.get(t, 0) for t in ("NN", "NNS", "VB", "VBD", "JJ", "RB")}
+        assert max(open_class, key=open_class.get) in ("NN", "NNS")
+
+    def test_determiners_frequent(self, tag_counts):
+        counts, work = tag_counts
+        dt_rate = counts.get("DT", 0) / work.tokens
+        # English: ~8-12% determiners; generated text is determiner-heavy
+        assert 0.05 < dt_rate < 0.30
+
+    def test_prepositions_present(self, tag_counts):
+        counts, work = tag_counts
+        assert counts.get("IN", 0) / work.tokens > 0.03
+
+    def test_every_token_tagged(self, tag_counts):
+        counts, work = tag_counts
+        assert sum(counts.values()) == work.tokens
+
+    def test_punct_matches_sentence_count_roughly(self, tag_counts):
+        counts, work = tag_counts
+        # at least one terminal punctuation token per sentence
+        assert counts.get("PUNCT", 0) >= work.sentences * 0.8

@@ -1,0 +1,44 @@
+"""Tests for the mixed-domain corpus (the X7 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import mixed_domain_like
+
+
+class TestMixedDomain:
+    def test_three_complexity_clusters(self):
+        cat = mixed_domain_like(scale=2e-3)
+        slens = np.array([f.stats.avg_sentence_words for f in cat])
+        third = len(cat) // 3
+        means = [slens[:third].mean(), slens[third:2 * third].mean(),
+                 slens[2 * third:].mean()]
+        # clearly separated ascending domains
+        assert means[0] < means[1] - 4 < means[2] - 8
+
+    def test_head_unrepresentative_of_average(self):
+        """The property that makes head-only probing fail."""
+        cat = mixed_domain_like(scale=2e-3)
+        slens = np.array([f.stats.avg_sentence_words for f in cat])
+        head = slens[: len(cat) // 10].mean()
+        assert abs(head - slens.mean()) > 4.0
+
+    def test_deterministic(self):
+        a = mixed_domain_like(scale=1e-3, seed=5)
+        b = mixed_domain_like(scale=1e-3, seed=5)
+        assert [f.stats.avg_sentence_words for f in a] == \
+               [f.stats.avg_sentence_words for f in b]
+
+    def test_size_distribution_matches_text_set(self):
+        cat = mixed_domain_like(scale=5e-3)
+        sizes = np.array([f.size for f in cat])
+        assert (sizes < 5000).mean() > 0.5  # same long-tail body
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            mixed_domain_like(scale=0)
+
+    def test_materializable(self):
+        cat = mixed_domain_like(scale=1e-4)
+        f = cat[0]
+        assert len(f.materialize()) == f.size

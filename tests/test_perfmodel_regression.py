@@ -1,0 +1,177 @@
+"""Tests for the predictor families and fitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perfmodel.regression import (
+    FitError,
+    fit_affine,
+    fit_all,
+    fit_exponential,
+    fit_linear,
+    fit_power,
+    fit_xlogx,
+    select_best,
+)
+
+
+class TestAffine:
+    def test_recovers_exact_line(self):
+        x = np.array([1e6, 5e6, 2e7, 1e8])
+        y = 0.5 + 2e-8 * x
+        p = fit_affine(x, y)
+        assert p.a == pytest.approx(0.5, abs=1e-9)
+        assert p.b == pytest.approx(2e-8, rel=1e-9)
+        assert p.r2 == pytest.approx(1.0)
+
+    def test_inverse_roundtrip(self):
+        p = fit_affine([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        assert p.inverse(p.predict(2.5)) == pytest.approx(2.5)
+
+    def test_inverse_below_intercept_rejected(self):
+        p = fit_affine([1.0, 2.0], [5.0, 6.0])  # a=4
+        with pytest.raises(FitError):
+            p.inverse(3.0)
+
+    def test_inverse_nonincreasing_rejected(self):
+        p = fit_affine([1.0, 2.0], [5.0, 4.0])
+        with pytest.raises(FitError):
+            p.inverse(4.5)
+
+    def test_weighted_fit_pulls_toward_heavy_points(self):
+        x = np.array([1.0, 2.0, 3.0, 10.0])
+        y = np.array([1.0, 2.0, 3.0, 20.0])  # outlier at x=10
+        unweighted = fit_affine(x, y)
+        weighted = fit_affine(x, y, weights=[1, 1, 1, 100])
+        assert abs(weighted.predict(10.0) - 20.0) < abs(unweighted.predict(10.0) - 20.0)
+
+    def test_bad_weights(self):
+        with pytest.raises(FitError):
+            fit_affine([1, 2], [1, 2], weights=[1])
+        with pytest.raises(FitError):
+            fit_affine([1, 2], [1, 2], weights=[0, 0])
+
+    def test_residuals_and_relative(self):
+        p = fit_affine([1.0, 2.0, 3.0], [2.0, 3.9, 6.1])
+        assert np.allclose(p.residuals, p.y - p.fitted)
+        assert np.allclose(p.relative_residuals, p.residuals / p.fitted)
+
+    def test_too_few_points(self):
+        with pytest.raises(FitError):
+            fit_affine([1.0], [1.0])
+
+    @given(
+        st.floats(min_value=0.01, max_value=10),
+        st.floats(min_value=1e-9, max_value=1e-3),
+    )
+    @settings(max_examples=50)
+    def test_exact_recovery_property(self, a, b):
+        x = np.array([1e3, 1e4, 1e5, 1e6])
+        y = a + b * x
+        p = fit_affine(x, y)
+        assert p.a == pytest.approx(a, rel=1e-6, abs=1e-9)
+        assert p.b == pytest.approx(b, rel=1e-6)
+
+
+class TestLinear:
+    def test_recovers_slope(self):
+        x = np.array([1.0, 10.0, 100.0])
+        p = fit_linear(x, 3.0 * x)
+        assert p.a == pytest.approx(3.0)
+
+    def test_positive_domain_enforced(self):
+        with pytest.raises(FitError):
+            fit_linear([0.0, 1.0], [1.0, 2.0])
+
+    def test_inverse(self):
+        p = fit_linear([1.0, 2.0], [2.0, 4.0])
+        assert p.inverse(6.0) == pytest.approx(3.0)
+        with pytest.raises(FitError):
+            p.inverse(0.0)
+
+
+class TestPower:
+    def test_recovers_params(self):
+        x = np.array([1e3, 1e4, 1e5, 1e6])
+        y = 2.0 * x**0.7
+        p = fit_power(x, y)
+        assert p.a == pytest.approx(2.0, rel=1e-6)
+        assert p.b == pytest.approx(0.7, rel=1e-6)
+
+    def test_inverse_roundtrip(self):
+        p = fit_power([1.0, 10.0, 100.0], [2.0, 2.0 * 10**1.5, 2.0 * 100**1.5])
+        assert p.inverse(p.predict(40.0)) == pytest.approx(40.0, rel=1e-9)
+
+    def test_curvature_signs_match_fig2(self):
+        """Fig. 2: b>1 convex (start new instances), b<1 concave (pack)."""
+        x = np.array([1e3, 1e4, 1e5, 1e6])
+        convex = fit_power(x, 1e-4 * x**1.5)
+        concave = fit_power(x, 1e-2 * x**0.5)
+        assert convex.curvature_sign() == 1
+        assert concave.curvature_sign() == -1
+
+    def test_affine_curvature_zero(self):
+        p = fit_affine([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        assert p.curvature_sign() == 0
+
+
+class TestExponential:
+    def test_recovers_params(self):
+        x = np.array([0.0, 1.0, 2.0, 3.0])
+        y = 1.5 * np.exp(0.8 * x)
+        p = fit_exponential(x, y)
+        assert p.a == pytest.approx(1.5, rel=1e-6)
+        assert p.b == pytest.approx(0.8, rel=1e-6)
+
+    def test_inverse(self):
+        p = fit_exponential([0.0, 1.0, 2.0], [1.0, np.e, np.e**2])
+        assert p.inverse(np.e ** 1.5) == pytest.approx(1.5, rel=1e-9)
+
+
+class TestXLogX:
+    def test_recovers_params(self):
+        x = np.array([10.0, 100.0, 1e3, 1e4, 1e5])
+        lx = np.log(x)
+        y = np.exp(0.05 * lx**2 + 0.4 * lx)
+        p = fit_xlogx(x, y)
+        assert p.a == pytest.approx(0.05, rel=1e-6)
+        assert p.b == pytest.approx(0.4, rel=1e-6)
+
+    def test_inverse_roundtrip(self):
+        x = np.array([10.0, 100.0, 1e3, 1e4])
+        lx = np.log(x)
+        y = np.exp(0.05 * lx**2 + 0.4 * lx)
+        p = fit_xlogx(x, y)
+        assert p.inverse(p.predict(500.0)) == pytest.approx(500.0, rel=1e-6)
+
+    def test_needs_three_points(self):
+        with pytest.raises(FitError):
+            fit_xlogx([1.0, 2.0], [1.0, 2.0])
+
+
+class TestFitAllSelect:
+    def test_selects_correct_family_for_linear_data(self):
+        x = np.array([1e3, 1e4, 1e5, 1e6, 1e7])
+        y = 0.3 + 8.65e-5 * x  # the Eq. (3) shape
+        best = select_best(fit_all(x, y))
+        assert best.name == "affine"
+        assert best.r2 > 0.999
+
+    def test_selects_power_for_power_data(self):
+        x = np.array([1e3, 1e4, 1e5, 1e6])
+        rng = np.random.default_rng(0)
+        y = 2e-3 * x**0.8 * np.exp(rng.normal(0, 0.01, x.size))
+        best = select_best(fit_all(x, y))
+        assert best.name in ("power", "xlogx")  # xlogx generalises power
+        assert best.r2 > 0.99
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(FitError):
+            select_best([])
+
+    def test_fit_all_skips_impossible_families(self):
+        # negative y values rule out every log-space family but not affine
+        fits = fit_all([1.0, 2.0, 3.0], [-1.0, 0.0, 1.0])
+        assert {f.name for f in fits} == {"affine"}

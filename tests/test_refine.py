@@ -1,0 +1,73 @@
+"""Tests for adaptive unit-size refinement."""
+
+import pytest
+
+from repro.apps import GrepApplication, GrepCostProfile
+from repro.cloud import Cloud, ExecutionService, Workload
+from repro.corpus import html_18mil_like
+from repro.perfmodel import ProbeCampaign, refine_unit_size
+from repro.units import KB, MB
+
+
+def make_campaign(seed=71, repeats=2):
+    cloud = Cloud(seed=seed)
+    inst = cloud.launch_instance()
+    inst.cpu_factor = inst.io_factor = 1.0
+    svc = ExecutionService(cloud)
+    wl = Workload("grep", GrepApplication(), GrepCostProfile())
+    return ProbeCampaign(svc, inst, wl, repeats=repeats)
+
+
+@pytest.fixture(scope="module")
+def refined():
+    campaign = make_campaign()
+    cat = html_18mil_like(scale=6e-4)   # ~500 MB catalogue, 20 MB probe
+    volume = 20 * MB
+    coarse = [200 * KB, 2 * MB, 20 * MB]
+    return refine_unit_size(campaign, cat, volume, coarse, rounds=3)
+
+
+class TestRefineUnitSize:
+    def test_coarse_points_all_measured(self, refined):
+        for s in (200 * KB, 2 * MB, 20 * MB):
+            assert s in refined.measurements
+
+    def test_refinement_adds_midpoints(self, refined):
+        assert len(refined.measurements) > 3
+        assert refined.rounds >= 1
+
+    def test_best_is_minimum_of_sampled(self, refined):
+        best = min(refined.measurements.values(), key=lambda m: m.mean)
+        assert refined.best_mean == best.mean
+
+    def test_midpoints_are_geometric(self, refined):
+        """Every non-coarse sample lies strictly between two neighbours."""
+        sampled = refined.sampled_units
+        coarse = {200 * KB, 2 * MB, 20 * MB}
+        for s in sampled:
+            if s not in coarse:
+                assert sampled[0] < s < sampled[-1]
+
+    def test_larger_units_win_for_grep(self, refined):
+        """Per-file overhead means the best unit is well above the smallest."""
+        assert refined.best_unit >= 2 * MB
+
+    def test_validation(self):
+        campaign = make_campaign(seed=72)
+        cat = html_18mil_like(scale=1e-4)
+        with pytest.raises(ValueError):
+            refine_unit_size(campaign, cat, 0, [1 * MB, 2 * MB])
+        with pytest.raises(ValueError):
+            refine_unit_size(campaign, cat, 10 * MB, [1 * MB])
+        with pytest.raises(ValueError):
+            refine_unit_size(campaign, cat, 10 * MB, [1 * MB, 2 * MB],
+                             min_gap_ratio=1.0)
+
+    def test_stops_when_bracket_tight(self):
+        campaign = make_campaign(seed=73)
+        cat = html_18mil_like(scale=6e-4)
+        out = refine_unit_size(campaign, cat, 20 * MB,
+                               [18 * MB, 19 * MB, 20 * MB],
+                               rounds=5, min_gap_ratio=1.2)
+        # neighbours within 20% of each other: nothing to refine
+        assert out.rounds == 0

@@ -1,0 +1,79 @@
+"""Tests for figure containers, ASCII rendering and comparison tables."""
+
+import pytest
+
+from repro.report import ComparisonTable, FigureResult, Series, render_ascii
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Series(label="s", x=(1, 2), y=(1.0,))
+
+    def test_yerr_length_checked(self):
+        with pytest.raises(ValueError):
+            Series(label="s", x=(1,), y=(1.0,), yerr=(0.1, 0.2))
+
+
+class TestFigureResult:
+    def test_add_coerces_floats(self):
+        fig = FigureResult("F", "title")
+        fig.add("a", [1, 2], [1, 2], yerr=[0.1, 0.2])
+        s = fig.series[0]
+        assert s.y == (1.0, 2.0) and s.yerr == (0.1, 0.2)
+
+    def test_notes_accumulate(self):
+        fig = FigureResult("F", "t")
+        fig.note("one")
+        fig.note("two")
+        assert fig.notes == ["one", "two"]
+
+
+class TestRenderAscii:
+    def test_contains_title_labels_and_bars(self):
+        fig = FigureResult("FigX", "demo figure")
+        fig.add("series one", ["a", "b"], [1.0, 4.0])
+        fig.note("a note")
+        out = render_ascii(fig)
+        assert "FigX: demo figure" in out
+        assert "series one" in out
+        assert "note: a note" in out
+        # the larger value gets the longer bar
+        lines = [l for l in out.splitlines() if "#" in l]
+        assert len(lines[1].split()[-1]) > len(lines[0].split()[-1])
+
+    def test_zero_values_render(self):
+        fig = FigureResult("F", "t")
+        fig.add("s", [1], [0.0])
+        assert "0" in render_ascii(fig)
+
+    def test_empty_series(self):
+        fig = FigureResult("F", "t")
+        fig.add("s", [], [])
+        assert "(empty series)" in render_ascii(fig)
+
+    def test_yerr_shown(self):
+        fig = FigureResult("F", "t")
+        fig.add("s", [1], [2.0], yerr=[0.5])
+        assert "±" in render_ascii(fig)
+
+
+class TestComparisonTable:
+    def test_rows_and_agreement(self):
+        t = ComparisonTable()
+        t.add("F1", "speedup", "5.6x", "5.4x", True)
+        assert t.all_agree
+        t.add("F2", "misses", "0", "3", False)
+        assert not t.all_agree
+
+    def test_markdown_format(self):
+        t = ComparisonTable()
+        t.add("F1", "q", "p", "m", True)
+        md = t.markdown()
+        assert md.splitlines()[0].startswith("| experiment |")
+        assert "| F1 | q | p | m | yes |" in md
+
+    def test_render_flags_disagreement(self):
+        t = ComparisonTable()
+        t.add("F1", "q", "p", "m", False)
+        assert t.render().startswith("!! ")

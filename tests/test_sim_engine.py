@@ -1,0 +1,113 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationEngine, SimulationError
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self):
+        eng = SimulationEngine()
+        log = []
+        eng.schedule_at(5.0, lambda: log.append("b"))
+        eng.schedule_at(1.0, lambda: log.append("a"))
+        eng.schedule_at(9.0, lambda: log.append("c"))
+        eng.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        eng = SimulationEngine()
+        log = []
+        for tag in "abc":
+            eng.schedule_at(2.0, lambda t=tag: log.append(t))
+        eng.run()
+        assert log == ["a", "b", "c"]
+
+    def test_clock_advances(self):
+        eng = SimulationEngine()
+        seen = []
+        eng.schedule_at(3.5, lambda: seen.append(eng.now))
+        final = eng.run()
+        assert seen == [3.5]
+        assert final == 3.5
+
+    def test_schedule_in_relative(self):
+        eng = SimulationEngine()
+        log = []
+        def first():
+            eng.schedule_in(2.0, lambda: log.append(eng.now))
+        eng.schedule_at(1.0, first)
+        eng.run()
+        assert log == [3.0]
+
+    def test_schedule_in_past_rejected(self):
+        eng = SimulationEngine()
+        eng.schedule_at(5.0, lambda: None)
+        eng.run()
+        with pytest.raises(SimulationError):
+            eng.schedule_at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine().schedule_in(-0.1, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        eng = SimulationEngine()
+        log = []
+        ev = eng.schedule_at(1.0, lambda: log.append("x"))
+        eng.schedule_at(2.0, lambda: log.append("y"))
+        ev.cancel()
+        eng.run()
+        assert log == ["y"]
+
+    def test_pending_ignores_cancelled(self):
+        eng = SimulationEngine()
+        ev = eng.schedule_at(1.0, lambda: None)
+        eng.schedule_at(2.0, lambda: None)
+        ev.cancel()
+        assert eng.pending == 1
+
+
+class TestRunUntil:
+    def test_run_until_stops_clock(self):
+        eng = SimulationEngine()
+        log = []
+        eng.schedule_at(1.0, lambda: log.append(1))
+        eng.schedule_at(10.0, lambda: log.append(10))
+        t = eng.run(until=5.0)
+        assert log == [1]
+        assert t == 5.0
+        assert eng.pending == 1
+
+    def test_resume_after_until(self):
+        eng = SimulationEngine()
+        log = []
+        eng.schedule_at(10.0, lambda: log.append(10))
+        eng.run(until=5.0)
+        eng.run()
+        assert log == [10]
+
+    def test_run_until_with_empty_heap_advances_clock(self):
+        eng = SimulationEngine()
+        assert eng.run(until=7.0) == 7.0
+
+
+class TestSafety:
+    def test_runaway_guard(self):
+        eng = SimulationEngine(max_events=10)
+
+        def reschedule():
+            eng.schedule_in(1.0, reschedule)
+
+        eng.schedule_in(1.0, reschedule)
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_events_fired_counter(self):
+        eng = SimulationEngine()
+        for i in range(5):
+            eng.schedule_at(float(i), lambda: None)
+        eng.run()
+        assert eng.events_fired == 5

@@ -1,0 +1,67 @@
+"""Property-based tests for the full-hour subdeadline apportionment."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.apps import GrepApplication, GrepCostProfile
+from repro.cloud import Workload
+from repro.core import TextWorkflow, WorkflowStage, assign_subdeadlines
+from repro.perfmodel.regression import fit_affine
+from repro.units import HOUR
+
+
+def make_pipeline(slopes):
+    """A linear pipeline with one stage per slope (all ratios 1)."""
+    wl = Workload("grep", GrepApplication(), GrepCostProfile())
+    x = np.array([1e5, 1e6, 1e7])
+    wf = TextWorkflow()
+    prev = None
+    for i, b in enumerate(slopes):
+        stage = WorkflowStage(f"s{i}", wl, fit_affine(x, 0.1 + b * x))
+        wf.add_stage(stage, after=[prev] if prev else None)
+        prev = f"s{i}"
+    return wf
+
+
+slopes_strategy = st.lists(
+    st.floats(min_value=1e-9, max_value=1e-3), min_size=1, max_size=6)
+
+
+class TestApportionmentProperties:
+    @given(slopes_strategy, st.integers(min_value=1, max_value=24))
+    @settings(max_examples=60, deadline=4000)
+    def test_hours_fully_allocated(self, slopes, hours):
+        assume(hours >= len(slopes))
+        wf = make_pipeline(slopes)
+        shares = assign_subdeadlines(wf, 10**8, hours * HOUR)
+        assert sum(shares.values()) == hours * HOUR
+        assert all(s % HOUR == 0 for s in shares.values())
+        assert all(s >= HOUR for s in shares.values())
+
+    @given(slopes_strategy, st.integers(min_value=1, max_value=24))
+    @settings(max_examples=60, deadline=4000)
+    def test_fractional_mode_sums_exactly(self, slopes, hours):
+        wf = make_pipeline(slopes)
+        shares = assign_subdeadlines(wf, 10**8, hours * HOUR, hour_align=False)
+        assert abs(sum(shares.values()) - hours * HOUR) < 1e-6
+
+    @given(st.integers(min_value=2, max_value=6),
+           st.integers(min_value=6, max_value=24))
+    @settings(max_examples=40, deadline=4000)
+    def test_heavier_stage_gets_no_fewer_hours(self, n_stages, hours):
+        """Monotone fairness: strictly heavier stages never get less."""
+        slopes = [1e-7 * (i + 1) for i in range(n_stages)]
+        wf = make_pipeline(slopes)
+        shares = assign_subdeadlines(wf, 10**9, hours * HOUR)
+        ordered = [shares[f"s{i}"] for i in range(n_stages)]
+        assert all(a <= b for a, b in zip(ordered, ordered[1:]))
+
+    @given(slopes_strategy)
+    @settings(max_examples=30, deadline=4000)
+    def test_deterministic(self, slopes):
+        wf1 = make_pipeline(slopes)
+        wf2 = make_pipeline(slopes)
+        a = assign_subdeadlines(wf1, 10**8, 12 * HOUR)
+        b = assign_subdeadlines(wf2, 10**8, 12 * HOUR)
+        assert a == b

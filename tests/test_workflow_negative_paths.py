@@ -1,0 +1,67 @@
+"""Negative-path tests for workflow execution and subdeadline splitting."""
+
+import numpy as np
+import pytest
+
+from repro.apps import GrepApplication, GrepCostProfile, PosCostProfile, PosTaggerApplication
+from repro.cloud import Cloud, Workload
+from repro.core import (
+    PlanError,
+    TextWorkflow,
+    WorkflowError,
+    WorkflowStage,
+    execute_workflow,
+)
+from repro.corpus import html_18mil_like
+from repro.perfmodel.regression import fit_affine
+from repro.units import HOUR
+
+
+def affine(a, b):
+    x = np.array([1e5, 1e6, 1e7])
+    return fit_affine(x, a + b * x)
+
+
+def heavy_pipeline():
+    wf = TextWorkflow()
+    wf.add_stage(WorkflowStage(
+        "tag", Workload("postag", PosTaggerApplication(), PosCostProfile()),
+        affine(3.0, 0.9e-4)))
+    return wf
+
+
+class TestWorkflowNegativePaths:
+    def test_infeasible_subdeadline_raises_plan_error(self):
+        """A deadline below any stage's model floor surfaces as PlanError."""
+        wf = heavy_pipeline()
+        cat = html_18mil_like(scale=1e-5)
+        with pytest.raises(PlanError):
+            execute_workflow(Cloud(seed=3), wf, cat, deadline=1.0)
+
+    def test_zero_output_stage_starves_dependents(self):
+        wf = TextWorkflow()
+        wf.add_stage(WorkflowStage(
+            "filter", Workload("grep", GrepApplication(), GrepCostProfile()),
+            affine(0.2, 1.3e-8), output_ratio=0.0))
+        wf.add_stage(WorkflowStage(
+            "tag", Workload("postag", PosTaggerApplication(), PosCostProfile()),
+            affine(3.0, 0.9e-4)), after=["filter"])
+        cat = html_18mil_like(scale=1e-5)
+        # the dependent stage has no input units to plan
+        with pytest.raises(PlanError):
+            execute_workflow(Cloud(seed=3), wf, cat, deadline=3 * HOUR)
+
+    def test_single_stage_workflow_gets_whole_deadline(self):
+        from repro.core import assign_subdeadlines
+
+        wf = heavy_pipeline()
+        shares = assign_subdeadlines(wf, 10**7, 2 * HOUR)
+        assert shares == {"tag": 2 * HOUR}
+
+    def test_stage_volumes_empty_input(self):
+        wf = heavy_pipeline()
+        assert wf.stage_volumes(0) == {"tag": 0}
+
+    def test_workflow_len(self):
+        assert len(heavy_pipeline()) == 1
+        assert len(TextWorkflow()) == 0
