@@ -2,13 +2,19 @@
 
 PY ?= python
 
-.PHONY: test bench experiments reproduce examples figures clean
+.PHONY: test bench bench-json experiments reproduce examples figures clean
 
 test:
 	$(PY) -m pytest tests/
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
+
+# Append a labelled median snapshot of the kernel benches to
+# BENCH_packing.json (the committed perf trajectory).
+LABEL ?= local
+bench-json:
+	PYTHONPATH=src $(PY) scripts/bench_packing_trajectory.py --run --label "$(LABEL)"
 
 experiments:
 	$(PY) scripts/generate_experiments_md.py

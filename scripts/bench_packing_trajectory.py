@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Distil pytest-benchmark output into the committed BENCH_packing.json.
+
+``make bench-json`` runs the kernel benchmarks with ``--benchmark-json`` and
+pipes the result through this script, which reduces the full statistics dump
+to one ``kernel -> {median_s, ops_per_s}`` map and appends it as a labelled
+entry to ``BENCH_packing.json``.  The file therefore accumulates a
+*trajectory*: one entry per significant packing-engine change, so a
+regression shows up as a worsening median against the committed history
+rather than against a number someone has to remember.
+
+Usage::
+
+    python scripts/bench_packing_trajectory.py --label "my change" RAW.json
+    python scripts/bench_packing_trajectory.py --label "my change" --run
+
+With ``--run`` the script invokes pytest itself (into a temp file); with a
+positional path it distils an existing ``--benchmark-json`` dump.  Entries
+with the same label are replaced, not duplicated, so re-running is
+idempotent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from datetime import date
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+OUT = REPO / "BENCH_packing.json"
+BENCH_FILE = "benchmarks/test_perf_kernels.py"
+
+
+def run_benchmarks(raw_path: Path) -> None:
+    """Run the kernel bench suite, writing pytest-benchmark JSON to ``raw_path``."""
+    cmd = [
+        sys.executable, "-m", "pytest", BENCH_FILE,
+        "--benchmark-only", f"--benchmark-json={raw_path}", "-q",
+    ]
+    res = subprocess.run(cmd, cwd=REPO, env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin:/usr/local/bin"})
+    if res.returncode != 0:
+        raise SystemExit(f"benchmark run failed (exit {res.returncode})")
+
+
+def distil(raw: dict) -> dict[str, dict[str, float]]:
+    """Reduce a pytest-benchmark dump to ``kernel -> median/ops``."""
+    kernels: dict[str, dict[str, float]] = {}
+    for b in raw["benchmarks"]:
+        median = b["stats"]["median"]
+        kernels[b["name"]] = {
+            "median_s": round(median, 6),
+            "ops_per_s": round(1.0 / median, 3) if median else 0.0,
+        }
+    return dict(sorted(kernels.items()))
+
+
+def load_trajectory() -> dict:
+    """Load the committed trajectory file, or an empty skeleton."""
+    if OUT.exists():
+        return json.loads(OUT.read_text())
+    return {
+        "description": (
+            "Median runtimes of the packing/corpus kernels "
+            f"({BENCH_FILE}), one entry per packing-engine change. "
+            "Regenerate with `make bench-json LABEL=...`."
+        ),
+        "entries": [],
+    }
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("raw", nargs="?", help="existing --benchmark-json dump to distil")
+    ap.add_argument("--run", action="store_true", help="run the bench suite first")
+    ap.add_argument("--label", required=True, help="entry label (same label = replace)")
+    args = ap.parse_args()
+
+    if args.run == bool(args.raw):
+        ap.error("pass exactly one of --run or a raw JSON path")
+
+    if args.run:
+        with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+            raw_path = Path(tmp.name)
+        run_benchmarks(raw_path)
+    else:
+        raw_path = Path(args.raw)
+
+    raw = json.loads(raw_path.read_text())
+    entry = {
+        "label": args.label,
+        "date": date.today().isoformat(),
+        "kernels": distil(raw),
+    }
+
+    trajectory = load_trajectory()
+    trajectory["entries"] = [
+        e for e in trajectory["entries"] if e["label"] != args.label
+    ] + [entry]
+    OUT.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(f"wrote {OUT.relative_to(REPO)} ({len(trajectory['entries'])} entries)")
+
+
+if __name__ == "__main__":
+    main()

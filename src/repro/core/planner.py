@@ -19,8 +19,12 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.apps.base import Unit, as_unit_meta
-from repro.packing import pack_into_n_bins, uniform_bins
-from repro.packing.bins import Bin, Item
+from repro.packing import (
+    first_fit_layout,
+    pack_into_n_bins_layout,
+    uniform_layout,
+)
+from repro.packing.index import BinLayout
 from repro.perfmodel.regression import FitError, Predictor
 from repro.units import HOUR
 
@@ -131,13 +135,14 @@ class StaticProvisioner:
 
     # -- planning -----------------------------------------------------------
 
-    def _predict_times(self, bins: Sequence[Bin], units_by_key: dict[str, Unit]) -> tuple[list[list[Unit]], list[float]]:
+    def _predict_times(
+        self, layouts: Sequence[BinLayout], units: Sequence[Unit]
+    ) -> tuple[list[list[Unit]], list[float]]:
         assignments: list[list[Unit]] = []
         times: list[float] = []
-        for b in bins:
-            us = [units_by_key[it.key] for it in b.items]
-            assignments.append(us)
-            times.append(float(self.predictor.predict(sum(u.size for u in us))))
+        for l in layouts:
+            assignments.append([units[i] for i in l.indices])
+            times.append(float(self.predictor.predict(l.used)))
         return assignments, times
 
     def plan(
@@ -176,32 +181,32 @@ class StaticProvisioner:
         eff_deadline = planning_deadline if planning_deadline is not None else deadline
         if eff_deadline <= 0 or deadline <= 0:
             raise PlanError("deadlines must be positive")
-        volume = sum(u.size for u in units)
-        items = [Item(key=self._key(u), size=u.size) for u in units]
-        units_by_key = {self._key(u): u for u in units}
-        if len(units_by_key) != len(units):
+        # Columnar: the packers consume the size column directly; units are
+        # regrouped by index afterwards, so no Item dataclasses or key dicts
+        # are built per call.
+        sizes = [u.size for u in units]
+        volume = sum(sizes)
+        if len({self._key(u) for u in units}) != len(units):
             raise PlanError("unit names are not unique")
 
         if strategy == "first-fit":
             n = self.instances_for(volume, eff_deadline)
             x0 = math.floor(self.volume_for(eff_deadline))
-            bins = pack_into_n_bins(items, n_bins=n, capacity=x0)
+            layouts = pack_into_n_bins_layout(sizes, n_bins=n, capacity=x0)
         elif strategy == "uniform":
             n = self.instances_for(volume, eff_deadline)
-            bins = uniform_bins(items, n_bins=n, preserve_order=True)
+            layouts = uniform_layout(sizes, n_bins=n, preserve_order=True)
         elif strategy == "hour-pack":
             if eff_deadline < HOUR:
                 raise PlanError("hour-pack needs a deadline of at least one hour")
-            from repro.packing import first_fit
-
             x_hour = math.floor(self.volume_for(HOUR))
             if x_hour < 1:
                 raise PlanError("model admits no data within one hour")
-            bins = first_fit(items, x_hour)
+            layouts = first_fit_layout(sizes, x_hour)
         else:
             raise PlanError(f"unknown strategy {strategy!r}")
 
-        assignments, times = self._predict_times(bins, units_by_key)
+        assignments, times = self._predict_times(layouts, units)
         label = strategy if planning_deadline is None else "adjusted"
         return ProvisioningPlan(
             deadline=deadline,

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.apps.base import Unit
-from repro.packing import subset_sum_first_fit
+from repro.packing import subset_sum_layout
 from repro.vfs.files import Catalogue, Segment
 
 __all__ = ["ReshapePlan", "reshape"]
@@ -73,14 +73,19 @@ def reshape(
                            n_input_files=len(catalogue))
     if unit_size <= 0:
         raise ValueError("unit size must be positive")
-    by_path = {f.path: f for f in catalogue}
-    bins = subset_sum_first_fit(catalogue.items(), unit_size,
-                                preserve_order=preserve_order)
+    # Columnar fast path: pack the cached size column and regroup the
+    # catalogue's files by index — no per-file Item dataclasses, no key dict.
+    files = catalogue.files
+    layouts = subset_sum_layout(
+        catalogue.sizes().tolist(), unit_size,
+        preserve_order=preserve_order,
+        keys=None if preserve_order else [f.path for f in files],
+    )
     units = tuple(
         Segment(name=f"{name_prefix}/unit{i:06d}",
-                members=tuple(by_path[it.key] for it in b.items))
-        for i, b in enumerate(bins)
-        if b.items
+                members=tuple(files[j] for j in l.indices))
+        for i, l in enumerate(layouts)
+        if l.indices
     )
     return ReshapePlan(unit_size=unit_size, units=units,
                        n_input_files=len(catalogue))

@@ -1,11 +1,29 @@
-"""Value objects shared by every packing heuristic."""
+"""Value objects shared by every packing heuristic.
+
+Besides the classic :class:`Item`/:class:`Bin` pair, this module hosts the
+columnar interop used by the indexed engine: :func:`as_columns` normalises a
+packer's first argument (a sequence of items *or* a ``(keys, sizes)`` column
+pair) and :func:`materialise_bins` turns the engine's
+:class:`~repro.packing.index.BinLayout` results back into :class:`Bin`
+objects, reusing caller-supplied items instead of rebuilding them.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-__all__ = ["Item", "Bin", "PackingError", "total_size", "validate_packing"]
+import numpy as np
+
+__all__ = [
+    "Item",
+    "Bin",
+    "PackingError",
+    "total_size",
+    "validate_packing",
+    "as_columns",
+    "materialise_bins",
+]
 
 
 class PackingError(ValueError):
@@ -75,6 +93,20 @@ class Bin:
         self.items.append(item)
         self._used += item.size
 
+    @classmethod
+    def prefilled(cls, capacity: int | None, items: list[Item], used: int) -> "Bin":
+        """Build a bin whose content and total are already known.
+
+        Skips ``__post_init__``'s O(len) re-summation — the engine tracks
+        ``used`` exactly while packing, and re-adding a million items one at
+        a time would dominate the packing itself.
+        """
+        b = cls.__new__(cls)
+        b.capacity = capacity
+        b.items = items
+        b._used = used
+        return b
+
     def __len__(self) -> int:
         return len(self.items)
 
@@ -82,6 +114,62 @@ class Bin:
 def total_size(items: Iterable[Item]) -> int:
     """Sum of item sizes in bytes."""
     return sum(it.size for it in items)
+
+
+def as_columns(
+    items,
+) -> tuple[list[Item] | None, Sequence[str] | None, list[int]]:
+    """Normalise a packer input into ``(payload, keys, sizes)``.
+
+    Packers accept either a sequence of :class:`Item` (the classic API) or a
+    ``(keys, sizes)`` pair of parallel columns (the fast path — no per-file
+    dataclasses).  Returns the original item list when one was given (so
+    materialisation can reuse the caller's objects), the key column
+    otherwise, and the sizes as a plain ``list[int]`` ready for the kernels.
+    """
+    if isinstance(items, tuple) and len(items) == 2 and not isinstance(items[0], Item):
+        keys, sizes = items
+        if isinstance(sizes, np.ndarray):
+            sizes = sizes.tolist()
+        elif not isinstance(sizes, list):
+            sizes = [int(s) for s in sizes]
+        if keys is not None and len(keys) != len(sizes):
+            raise PackingError(
+                f"column length mismatch: {len(keys)} keys vs {len(sizes)} sizes"
+            )
+        if sizes and min(sizes) < 0:
+            raise PackingError("item sizes must be non-negative")
+        return None, keys, sizes
+    payload = list(items)
+    return payload, None, [it.size for it in payload]
+
+
+def materialise_bins(
+    layouts,
+    *,
+    payload: Sequence[Item] | None,
+    keys: Sequence[str] | None,
+    sizes: Sequence[int],
+) -> list[Bin]:
+    """Turn engine :class:`~repro.packing.index.BinLayout` results into bins.
+
+    With ``payload`` set the caller's item objects are placed directly; with
+    only ``keys``/``sizes`` columns, items are created lazily here — the one
+    place the columnar fast path ever builds :class:`Item` dataclasses.
+    """
+    if payload is not None:
+        return [
+            Bin.prefilled(l.capacity, [payload[i] for i in l.indices], l.used)
+            for l in layouts
+        ]
+    if keys is None:
+        raise PackingError("columnar materialisation needs keys")
+    return [
+        Bin.prefilled(
+            l.capacity, [Item(key=keys[i], size=sizes[i]) for i in l.indices], l.used
+        )
+        for l in layouts
+    ]
 
 
 def validate_packing(items: Sequence[Item], bins: Sequence[Bin]) -> None:

@@ -1,0 +1,130 @@
+"""Campaign-level memoisation of packings (§4's "pack once" discipline).
+
+Probe-set construction re-packs the same catalogue head at many unit sizes,
+and every provisioning strategy re-packs the data per candidate deadline.
+Both are pure functions of ``(catalogue, unit size, heuristic, order)``, so
+a campaign-scoped :class:`PackingCache` removes the repeats:
+
+* exact repeats return the memoised layout immediately;
+* a requested size that is a *multiple* of an already-packed base size is
+  routed through :func:`~repro.packing.subset_sum.derive_multiples_layout`
+  — §4's trick of coalescing ``k`` consecutive base bins instead of
+  re-running the packer — so ``P^V_s`` probe sets pack once per volume, not
+  once per (volume, size) pair.
+
+Keys use :meth:`Catalogue.fingerprint`, a content hash of the size column.
+Layouts are pure functions of the size column for the index tie-break used
+here, so catalogues with equal size columns may legitimately share entries.
+Returned layouts are shared objects: treat them as immutable.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.packing.first_fit import first_fit_layout
+from repro.packing.index import BinLayout
+from repro.packing.subset_sum import derive_multiples_layout, subset_sum_layout
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vfs.files import Catalogue
+
+__all__ = ["PackingCache"]
+
+_KERNELS = {
+    "subset_sum": lambda sizes, s, preserve_order: subset_sum_layout(
+        sizes, s, preserve_order=preserve_order
+    ),
+    "first_fit": lambda sizes, s, preserve_order: first_fit_layout(sizes, s),
+}
+
+
+class PackingCache:
+    """Memoises packings keyed by (catalogue fingerprint, size, heuristic, order)."""
+
+    def __init__(self, max_entries: int = 128) -> None:
+        if max_entries < 1:
+            raise ValueError("cache needs room for at least one entry")
+        self.max_entries = max_entries
+        self._store: dict[tuple, list[BinLayout]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.derived = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def pack_layout(
+        self,
+        catalogue: "Catalogue",
+        unit_size: int,
+        *,
+        heuristic: str = "subset_sum",
+        preserve_order: bool = True,
+        derive_from: int | None = None,
+    ) -> list[BinLayout]:
+        """Layout for ``catalogue`` at ``unit_size``, memoised.
+
+        On a miss, if ``unit_size`` is a multiple of a cached base size for
+        the same catalogue (the smallest such base, or exactly
+        ``derive_from`` when given), the layout is derived by coalescing
+        consecutive base bins rather than re-packed; otherwise the packer
+        runs and the result is stored.
+        """
+        if heuristic not in _KERNELS:
+            raise ValueError(f"unknown packing heuristic {heuristic!r}")
+        fp = catalogue.fingerprint()
+        key = (fp, heuristic, preserve_order, unit_size)
+        found = self._store.get(key)
+        if found is not None:
+            self.hits += 1
+            return found
+        self.misses += 1
+        layouts = self._derive(fp, heuristic, preserve_order, unit_size, derive_from)
+        if layouts is None:
+            layouts = _KERNELS[heuristic](
+                catalogue.sizes().tolist(), unit_size, preserve_order
+            )
+        self._remember(key, layouts)
+        return layouts
+
+    def _derive(
+        self,
+        fp: str,
+        heuristic: str,
+        preserve_order: bool,
+        unit_size: int,
+        derive_from: int | None,
+    ) -> list[BinLayout] | None:
+        if derive_from is not None:
+            bases: Sequence[int] = (
+                [derive_from] if 0 < derive_from < unit_size
+                and unit_size % derive_from == 0 else []
+            )
+        else:
+            bases = sorted(
+                s for (f, h, p, s) in self._store
+                if f == fp and h == heuristic and p == preserve_order
+                and 0 < s < unit_size and unit_size % s == 0
+            )
+        for base in bases:
+            base_layouts = self._store.get((fp, heuristic, preserve_order, base))
+            if base_layouts is not None:
+                k = unit_size // base
+                self.derived += 1
+                return derive_multiples_layout(base_layouts, [k])[k]
+        return None
+
+    def _remember(self, key: tuple, layouts: list[BinLayout]) -> None:
+        while len(self._store) >= self.max_entries:
+            self._store.pop(next(iter(self._store)))
+        self._store[key] = layouts
+
+    def stats(self) -> dict:
+        """Hit/miss/derive counters (the cache-efficiency bench reads these)."""
+        return {
+            "entries": len(self._store),
+            "hits": self.hits,
+            "misses": self.misses,
+            "derived": self.derived,
+        }

@@ -14,19 +14,64 @@ Two entry points:
   are derived by coalescing consecutive base bins, avoiding a re-pack ("this
   approach is convenient since we avoid rerunning the first fit bin packing
   algorithm, but can be sensitive to the quality of the original bins").
+
+Implementation
+--------------
+The reference's bin-at-a-time greedy pass ("take every remaining item, in
+descending size order, that still fits the current bin") is *provably*
+first-fit over the descending item order: the items entering bin 0 are
+exactly those that fit its running free space, the items skipped form the
+stream bin 1 sees, and so on by induction.  The engine therefore reuses the
+O(n log B) :func:`~repro.packing.first_fit.first_fit_layout` kernel on a
+sorted index permutation instead of re-scanning the remainder list per bin
+(O(n·B)).  The property tests pin this equivalence against
+:mod:`repro.packing.reference` bin by bin.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-from repro.packing.bins import Bin, Item, PackingError
+from repro.packing.bins import Bin, PackingError, as_columns, materialise_bins
+from repro.packing.first_fit import _decreasing_order, first_fit_layout
+from repro.packing.index import BinLayout
 
-__all__ = ["subset_sum_first_fit", "derive_multiples"]
+__all__ = [
+    "subset_sum_first_fit",
+    "subset_sum_layout",
+    "derive_multiples",
+    "derive_multiples_layout",
+]
+
+
+def subset_sum_layout(
+    sizes: Sequence[int],
+    unit_size: int,
+    *,
+    preserve_order: bool = True,
+    keys: Sequence[str] | None = None,
+) -> list[BinLayout]:
+    """Columnar subset-sum merge of ``sizes`` into ≤``unit_size`` bins.
+
+    With ``preserve_order`` items stream in their given order (classic
+    first-fit).  Without it, the greedy best-fill pass runs over items
+    sorted descending; ``keys`` supplies the reference tie-break for equal
+    sizes (falling back to index order, which coincides with key order for
+    catalogue columns).
+    """
+    if unit_size <= 0:
+        raise PackingError(f"unit size must be positive, got {unit_size}")
+    if preserve_order:
+        return first_fit_layout(sizes, unit_size)
+    order = _decreasing_order(sizes, keys)
+    layouts = first_fit_layout([sizes[i] for i in order], unit_size)
+    for l in layouts:
+        l.indices = [order[j] for j in l.indices]
+    return layouts
 
 
 def subset_sum_first_fit(
-    items: Sequence[Item],
+    items,
     unit_size: int,
     *,
     preserve_order: bool = True,
@@ -41,34 +86,41 @@ def subset_sum_first_fit(
 
     Items larger than ``unit_size`` become single-item oversized bins; the
     reshaper never splits a file ("the largest (unsplittable) file", §5).
+    ``items`` may also be a ``(keys, sizes)`` column pair.
     """
-    if unit_size <= 0:
-        raise PackingError(f"unit size must be positive, got {unit_size}")
-    if preserve_order:
-        from repro.packing.first_fit import first_fit
+    payload, keys, sizes = as_columns(items)
+    tie_keys = keys if payload is None else [it.key for it in payload]
+    layouts = subset_sum_layout(
+        sizes, unit_size, preserve_order=preserve_order,
+        keys=None if preserve_order else tie_keys,
+    )
+    return materialise_bins(layouts, payload=payload, keys=keys, sizes=sizes)
 
-        return first_fit(items, unit_size)
 
-    remaining = sorted(items, key=lambda it: (-it.size, it.key))
-    bins: list[Bin] = []
-    # Oversized files first: each gets its own bin.
-    while remaining and remaining[0].size > unit_size:
-        solo = Bin(capacity=remaining[0].size)
-        solo.add(remaining.pop(0))
-        bins.append(solo)
-    while remaining:
-        b = Bin(capacity=unit_size)
-        # Greedy descending scan: take every item that still fits.  Because
-        # the list is sorted by size, one pass approximates subset-sum well.
-        kept: list[Item] = []
-        for it in remaining:
-            if b.fits(it):
-                b.add(it)
-            else:
-                kept.append(it)
-        remaining = kept
-        bins.append(b)
-    return bins
+def derive_multiples_layout(
+    base_layouts: Sequence[BinLayout],
+    factors: Sequence[int],
+) -> dict[int, list[BinLayout]]:
+    """Columnar :func:`derive_multiples`: coalesce ``k`` consecutive bins."""
+    if not base_layouts:
+        return {k: [] for k in factors}
+    base_cap = max(l.capacity or l.used for l in base_layouts)
+    out: dict[int, list[BinLayout]] = {}
+    for k in factors:
+        if k < 1:
+            raise PackingError(f"factor must be >= 1, got {k}")
+        merged: list[BinLayout] = []
+        for start in range(0, len(base_layouts), k):
+            group = base_layouts[start : start + k]
+            indices: list[int] = []
+            for gl in group:
+                indices.extend(gl.indices)
+            used = sum(gl.used for gl in group)
+            merged.append(
+                BinLayout(capacity=max(base_cap * k, used), indices=indices, used=used)
+            )
+        out[k] = merged
+    return out
 
 
 def derive_multiples(
@@ -83,7 +135,9 @@ def derive_multiples(
 
     This mirrors §4: ``s1..sn`` are "conveniently chosen as multiples of s0
     such that we perform the bin packing once"; the quality of the derived
-    bins inherits the quality of the base bins.
+    bins inherits the quality of the base bins.  Coalesced bins can exceed
+    ``k*s0`` only when a base bin held an oversized item; the capacity is
+    widened rather than failing.
     """
     if not base_bins:
         return {k: [] for k in factors}
@@ -95,14 +149,10 @@ def derive_multiples(
         merged: list[Bin] = []
         for start in range(0, len(base_bins), k):
             group = base_bins[start : start + k]
-            nb = Bin(capacity=base_cap * k)
-            for gb in group:
-                for it in gb.items:
-                    # Coalesced bins can exceed capacity only if a base bin
-                    # held an oversized item; widen rather than fail.
-                    if not nb.fits(it):
-                        nb.capacity = nb.used + it.size
-                    nb.add(it)
-            merged.append(nb)
+            items = [it for gb in group for it in gb.items]
+            used = sum(gb.used for gb in group)
+            merged.append(
+                Bin.prefilled(max(base_cap * k, used), items, used)
+            )
         out[k] = merged
     return out

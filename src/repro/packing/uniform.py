@@ -7,21 +7,75 @@ bin volume and therefore the chance of missing the deadline at identical
 cost (Fig. 8(b)).
 
 The heuristic here is greedy longest-processing-time-style balancing when
-order may be broken, and a volume-threshold splitter when the original file
-order must be preserved (the POS workload case).
+order may be broken — each item (largest first) lands on the currently
+lightest bin, found through the engine's
+:meth:`~repro.packing.index.FreeSpaceIndex.lightest` heap in O(log B) — and
+a volume-threshold splitter when the original file order must be preserved
+(the POS workload case), which is a single O(n) streaming pass.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-from repro.packing.bins import Bin, Item, PackingError
+from repro.packing.bins import Bin, PackingError, as_columns, materialise_bins
+from repro.packing.first_fit import _decreasing_order
+from repro.packing.index import BinLayout, FreeSpaceIndex
 
-__all__ = ["uniform_bins"]
+__all__ = ["uniform_bins", "uniform_layout"]
+
+
+def uniform_layout(
+    sizes: Sequence[int],
+    n_bins: int,
+    *,
+    preserve_order: bool = True,
+    keys: Sequence[str] | None = None,
+) -> list[BinLayout]:
+    """Columnar balanced split of ``sizes`` across exactly ``n_bins`` bins.
+
+    Returned layouts are uncapacitated (``capacity=None``); balance, not
+    capacity, is the constraint.  ``keys`` supplies the equal-size tie-break
+    for the greedy (order-breaking) pass.
+    """
+    if n_bins <= 0:
+        raise PackingError(f"need at least one bin, got {n_bins}")
+    layouts = [BinLayout(capacity=None) for _ in range(n_bins)]
+    if not sizes:
+        return layouts
+    total = sum(sizes)
+
+    if preserve_order:
+        # Stream in order, closing a bin once it has met its ideal share
+        # total/n (the last bin absorbs rounding).  Float arithmetic matches
+        # the reference splitter exactly.
+        share = total / n_bins
+        idx = 0
+        running = 0
+        current = layouts[0]
+        for i, size in enumerate(sizes):
+            while idx < n_bins - 1 and running + size / 2 >= share * (idx + 1):
+                idx += 1
+                current = layouts[idx]
+            current.indices.append(i)
+            current.used += size
+            running += size
+        return layouts
+
+    index = FreeSpaceIndex()
+    for _ in range(n_bins):
+        index.append(0)
+    for i in _decreasing_order(sizes, keys):
+        slot = index.lightest()
+        size = sizes[i]
+        index.add_load(slot, size)
+        layouts[slot].indices.append(i)
+        layouts[slot].used += size
+    return layouts
 
 
 def uniform_bins(
-    items: Sequence[Item],
+    items,
     n_bins: int,
     *,
     preserve_order: bool = True,
@@ -35,30 +89,13 @@ def uniform_bins(
     order.
 
     Returned bins are uncapacitated (``capacity=None``); balance, not
-    capacity, is the constraint here.
+    capacity, is the constraint here.  ``items`` may also be a
+    ``(keys, sizes)`` column pair.
     """
-    if n_bins <= 0:
-        raise PackingError(f"need at least one bin, got {n_bins}")
-    items = list(items)
-    bins = [Bin(capacity=None) for _ in range(n_bins)]
-    if not items:
-        return bins
-    total = sum(it.size for it in items)
-
-    if preserve_order:
-        share = total / n_bins
-        idx = 0
-        running = 0
-        for it in items:
-            # Advance to the next bin when this one has met its share, but
-            # never beyond the last bin.
-            while idx < n_bins - 1 and running + it.size / 2 >= share * (idx + 1):
-                idx += 1
-            bins[idx].append_unchecked(it)
-            running += it.size
-        return bins
-
-    for it in sorted(items, key=lambda i: (-i.size, i.key)):
-        target = min(bins, key=lambda b: b.used)
-        target.append_unchecked(it)
-    return bins
+    payload, keys, sizes = as_columns(items)
+    tie_keys = keys if payload is None else [it.key for it in payload]
+    layouts = uniform_layout(
+        sizes, n_bins, preserve_order=preserve_order,
+        keys=None if preserve_order else tie_keys,
+    )
+    return materialise_bins(layouts, payload=payload, keys=keys, sizes=sizes)

@@ -10,6 +10,12 @@ The protocol starts at a small volume, discards measurements that are "too
 unstable" (small means, large deviations — dominated by setup overheads),
 and escalates the volume by a factor ``k`` until a stable probe set is
 obtained or the budget runs out.
+
+Packing goes through a :class:`~repro.packing.cache.PackingCache`: the base
+size ``s0`` is packed once per probe volume, multiples of ``s0`` are derived
+by coalescing consecutive base bins, and repeated probe-set construction
+(re-planning per deadline, protocol re-runs) hits the memo instead of
+re-packing.
 """
 
 from __future__ import annotations
@@ -21,20 +27,22 @@ from repro.apps.base import Unit
 from repro.cloud.ebs import EbsVolume
 from repro.cloud.instance import Instance
 from repro.cloud.service import ExecutionService, Workload
-from repro.packing import derive_multiples, subset_sum_first_fit
-from repro.packing.bins import Bin
+from repro.packing import PackingCache
+from repro.packing.index import BinLayout
 from repro.perfmodel.measurement import DEFAULT_REPEATS, Measurement, ProbeSetResult
 from repro.vfs.files import Catalogue, Segment, VirtualFile
 
 __all__ = ["ProbeSet", "build_probe_set", "ProbeCampaign", "ProtocolResult"]
 
 
-def _bins_to_segments(bins: Sequence[Bin], by_path: dict[str, VirtualFile],
-                      prefix: str) -> list[Segment]:
+def _layouts_to_segments(layouts: Sequence[BinLayout],
+                         files: Sequence[VirtualFile],
+                         prefix: str) -> list[Segment]:
     return [
-        Segment(name=f"{prefix}/unit{idx:05d}", members=tuple(by_path[it.key] for it in b.items))
-        for idx, b in enumerate(bins)
-        if b.items
+        Segment(name=f"{prefix}/unit{idx:05d}",
+                members=tuple(files[i] for i in l.indices))
+        for idx, l in enumerate(layouts)
+        if l.indices
     ]
 
 
@@ -54,11 +62,15 @@ def build_probe_set(
     catalogue: Catalogue,
     volume: int,
     unit_sizes: Sequence[int],
+    *,
+    cache: PackingCache | None = None,
 ) -> ProbeSet:
     """Construct ``P^V_orig`` and ``P^V_{s}`` for each requested unit size.
 
     Reuses one base packing for sizes that are multiples of ``unit_sizes[0]``
-    (the §4 efficiency trick) and packs other sizes directly.
+    (the §4 efficiency trick) and packs other sizes directly.  A shared
+    ``cache`` (e.g. a campaign's) additionally memoises across calls, so
+    re-building the same probe set packs nothing at all.
     """
     if volume <= 0:
         raise ValueError("probe volume must be positive")
@@ -66,21 +78,23 @@ def build_probe_set(
     if any(s <= 0 for s in sizes):
         raise ValueError("unit sizes must be positive")
     head = catalogue.head_by_volume(volume)
-    by_path = {f.path: f for f in head}
+    files = head.files
     variants: dict[str | int, tuple[Unit, ...]] = {"orig": tuple(head)}
     if not sizes:
         return ProbeSet(volume=volume, variants=variants)
 
+    if cache is None:
+        cache = PackingCache()
     s0 = sizes[0]
-    base_bins = subset_sum_first_fit(head.items(), s0)
-    multiples = {s: s // s0 for s in sizes if s % s0 == 0}
-    derived = derive_multiples(base_bins, sorted(set(multiples.values())))
     for s in sizes:
-        if s in multiples:
-            bins = derived[multiples[s]]
-        else:
-            bins = subset_sum_first_fit(head.items(), s)
-        variants[s] = tuple(_bins_to_segments(bins, by_path, f"probe_v{volume}_s{s}"))
+        # derive_from=s0 routes multiples of the base through bin
+        # coalescing and packs non-multiples directly — the seed behaviour,
+        # now memoised.
+        layouts = cache.pack_layout(head, s, heuristic="subset_sum",
+                                    preserve_order=True, derive_from=s0)
+        variants[s] = tuple(
+            _layouts_to_segments(layouts, files, f"probe_v{volume}_s{s}")
+        )
     return ProbeSet(volume=volume, variants=variants)
 
 
@@ -123,6 +137,7 @@ class ProbeCampaign:
         self.workload = workload
         self.storage = storage
         self.repeats = repeats
+        self.pack_cache = PackingCache()
         self._observations: list[tuple[int, str | int, Measurement]] = []
 
     # -- low-level -----------------------------------------------------------
@@ -180,7 +195,7 @@ class ProbeCampaign:
         volume = initial_volume
         for _ in range(max_rounds):
             sizes = [s for s in unit_sizes_for(volume) if s <= volume]
-            ps = build_probe_set(catalogue, volume, sizes)
+            ps = build_probe_set(catalogue, volume, sizes, cache=self.pack_cache)
             measured = self.run_probe_set(ps)
             result.probe_sets.append(measured)
             if measured.stable(stability_cv):

@@ -12,8 +12,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.packing import subset_sum_first_fit
-from repro.perfmodel.probes import ProbeCampaign, _bins_to_segments
+from repro.packing import subset_sum_layout
+from repro.perfmodel.probes import ProbeCampaign, _layouts_to_segments
 from repro.perfmodel.regression import AffinePredictor, fit_affine
 from repro.sim.random import RngStream
 from repro.vfs.files import Catalogue
@@ -61,9 +61,10 @@ def collect_sample_points(
             if unit_size is None:
                 units = tuple(part)
             else:
-                by_path = {f.path: f for f in part}
-                bins = subset_sum_first_fit(part.items(), unit_size)
-                units = tuple(_bins_to_segments(bins, by_path, f"sample{i}_v{v}"))
+                layouts = subset_sum_layout(part.sizes().tolist(), unit_size)
+                units = tuple(
+                    _layouts_to_segments(layouts, part.files, f"sample{i}_v{v}")
+                )
             m = campaign.measure(units, directory=f"samples/{i}/v{v}")
             points.append((float(part.total_size), m.mean))
     return points

@@ -52,10 +52,22 @@ class Event:
     callback: Callable[[], None]
     label: str = ""
     cancelled: bool = False
+    _engine: Optional["SimulationEngine"] = field(
+        default=None, repr=False, compare=False
+    )
+    _consumed: bool = field(default=False, repr=False, compare=False)
 
     def cancel(self) -> None:
-        """Mark the event so the engine skips it when popped."""
+        """Mark the event so the engine skips it when popped.
+
+        Idempotent: repeated cancels (and cancels after the event fired)
+        leave the engine's pending count untouched.
+        """
+        if self.cancelled or self._consumed:
+            return
         self.cancelled = True
+        if self._engine is not None:
+            self._engine._pending -= 1
 
 
 class SimulationEngine:
@@ -66,6 +78,7 @@ class SimulationEngine:
         self._seq = itertools.count()
         self._now = 0.0
         self._fired = 0
+        self._pending = 0
         self.max_events = max_events
 
     # -- clock -----------------------------------------------------------
@@ -87,8 +100,9 @@ class SimulationEngine:
             raise SimulationError(
                 f"cannot schedule {label or 'event'} at t={time} (now={self._now})"
             )
-        ev = Event(time=time, callback=callback, label=label)
+        ev = Event(time=time, callback=callback, label=label, _engine=self)
         heapq.heappush(self._heap, _HeapEntry(time, next(self._seq), ev))
+        self._pending += 1
         return ev
 
     def schedule_in(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
@@ -106,6 +120,8 @@ class SimulationEngine:
             ev = entry.event
             if ev.cancelled:
                 continue
+            ev._consumed = True
+            self._pending -= 1
             self._now = entry.time
             self._fired += 1
             if self._fired > self.max_events:
@@ -139,5 +155,10 @@ class SimulationEngine:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-fired, not-cancelled events."""
-        return sum(1 for e in self._heap if not e.event.cancelled)
+        """Number of not-yet-fired, not-cancelled events.
+
+        Maintained as a live counter (incremented on schedule, decremented
+        on fire and on first cancel) so runners polling it per event stay
+        O(1) instead of rescanning the whole heap.
+        """
+        return self._pending

@@ -174,7 +174,9 @@ class Catalogue:
             if f.path in seen:
                 raise ValueError(f"duplicate path in catalogue: {f.path!r}")
             seen.add(f.path)
-        self._cum = np.cumsum([f.size for f in self._files]) if self._files else np.array([])
+        self._sizes = np.array([f.size for f in self._files], dtype=np.int64)
+        self._cum = np.cumsum(self._sizes) if self._files else np.array([])
+        self._fingerprint: str | None = None
 
     # -- basics ------------------------------------------------------------
 
@@ -197,11 +199,36 @@ class Catalogue:
 
     @property
     def max_file_size(self) -> int:
-        return max((f.size for f in self._files), default=0)
+        return int(self._sizes.max()) if len(self._files) else 0
 
     def items(self) -> list[Item]:
         """Packing items for every file, in order."""
         return [f.as_item() for f in self._files]
+
+    def sizes(self) -> np.ndarray:
+        """File sizes in catalogue order as a cached ``np.int64`` column.
+
+        This is the packing engine's fast path: the ``*_layout`` kernels
+        consume it directly, so reshaping and provisioning never materialise
+        per-file :class:`Item` dataclasses.  Treat the array as read-only.
+        """
+        return self._sizes
+
+    def fingerprint(self) -> str:
+        """Content hash of the size column, for packing-cache keys.
+
+        Layouts produced by the engine's order-preserving kernels are pure
+        functions of the size column, so catalogues with equal columns may
+        share cached packings regardless of path names.
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            h = hashlib.blake2b(digest_size=16)
+            h.update(len(self._files).to_bytes(8, "little"))
+            h.update(self._sizes.tobytes())
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     # -- probe/sample construction ------------------------------------------
 
@@ -268,15 +295,15 @@ class Catalogue:
 
         Models staging data "equally across 100 EBS storage volumes" (§5.1).
         """
-        from repro.packing import uniform_bins
+        from repro.packing import uniform_layout
 
-        bins = uniform_bins(self.items(), n_bins=n_parts, preserve_order=True)
-        by_path = {f.path: f for f in self._files}
+        layouts = uniform_layout(self._sizes.tolist(), n_bins=n_parts,
+                                 preserve_order=True)
         return [
             Catalogue(
-                [by_path[it.key] for it in b.items], name=f"{self.name}/part{i}"
+                [self._files[j] for j in l.indices], name=f"{self.name}/part{i}"
             )
-            for i, b in enumerate(bins)
+            for i, l in enumerate(layouts)
         ]
 
     # -- analytics -----------------------------------------------------------
@@ -290,7 +317,7 @@ class Catalogue:
         """
         if bin_width <= 0:
             raise ValueError("bin width must be positive")
-        sizes = np.array([f.size for f in self._files], dtype=np.int64)
+        sizes = self._sizes
         if max_size is not None:
             sizes = sizes[sizes <= max_size]
         if sizes.size == 0:
@@ -302,7 +329,7 @@ class Catalogue:
 
     def describe(self) -> dict:
         """Summary row used by the dataset figures and EXPERIMENTS.md."""
-        sizes = np.array([f.size for f in self._files], dtype=np.int64)
+        sizes = self._sizes
         if sizes.size == 0:
             return {"name": self.name, "files": 0, "total": 0}
         return {

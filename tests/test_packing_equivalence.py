@@ -1,0 +1,307 @@
+"""Property tests: the indexed engine is byte-identical to the reference.
+
+Every heuristic rewritten on :class:`~repro.packing.index.FreeSpaceIndex`
+must place every item into exactly the same bin, in the same order, with the
+same bin capacities, as the original O(n·B) implementations preserved in
+:mod:`repro.packing.reference` — across random catalogues, capacities, bin
+counts and both ``preserve_order`` settings.  Each result is additionally
+checked with :func:`validate_packing`.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.packing import (
+    FreeSpaceIndex,
+    Item,
+    PackingCache,
+    first_fit,
+    first_fit_decreasing,
+    first_fit_layout,
+    pack_into_n_bins,
+    subset_sum_first_fit,
+    uniform_bins,
+    validate_packing,
+)
+from repro.packing import reference
+
+
+def items_of(sizes) -> list[Item]:
+    return [Item(key=f"f{i:04d}", size=s) for i, s in enumerate(sizes)]
+
+
+def assert_identical(got, want):
+    """Bin-by-bin equality: capacity, load, and member keys in order."""
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        assert g.capacity == w.capacity
+        assert g.used == w.used
+        assert [it.key for it in g.items] == [it.key for it in w.items]
+
+
+size_lists = st.lists(
+    st.one_of(
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=0, max_value=5000),
+    ),
+    min_size=0,
+    max_size=120,
+)
+capacities = st.integers(min_value=1, max_value=4000)
+bin_counts = st.integers(min_value=1, max_value=15)
+
+
+class TestFirstFitEquivalence:
+    @given(sizes=size_lists, capacity=capacities)
+    @settings(max_examples=150, deadline=None)
+    def test_first_fit(self, sizes, capacity):
+        items = items_of(sizes)
+        got = first_fit(items, capacity)
+        assert_identical(got, reference.first_fit(items, capacity))
+        validate_packing(items, got)
+
+    @given(sizes=size_lists, capacity=capacities)
+    @settings(max_examples=100, deadline=None)
+    def test_first_fit_decreasing(self, sizes, capacity):
+        items = items_of(sizes)
+        got = first_fit_decreasing(items, capacity)
+        assert_identical(got, reference.first_fit_decreasing(items, capacity))
+        validate_packing(items, got)
+
+    @given(sizes=size_lists, capacity=capacities)
+    @settings(max_examples=100, deadline=None)
+    def test_duplicate_sizes_tie_break(self, sizes, capacity):
+        # Heavy duplication stresses the (-size, key) tie-break.
+        items = items_of([s % 7 for s in sizes])
+        got = first_fit_decreasing(items, capacity)
+        assert_identical(got, reference.first_fit_decreasing(items, capacity))
+
+
+class TestSubsetSumEquivalence:
+    @given(
+        sizes=size_lists,
+        unit=capacities,
+        preserve_order=st.booleans(),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_subset_sum(self, sizes, unit, preserve_order):
+        items = items_of(sizes)
+        got = subset_sum_first_fit(items, unit, preserve_order=preserve_order)
+        want = reference.subset_sum_first_fit(
+            items, unit, preserve_order=preserve_order
+        )
+        assert_identical(got, want)
+        validate_packing(items, got)
+
+
+class TestPackIntoNBinsEquivalence:
+    @given(sizes=size_lists, n_bins=bin_counts, capacity=capacities)
+    @settings(max_examples=200, deadline=None)
+    def test_pack_into_n_bins(self, sizes, n_bins, capacity):
+        items = items_of(sizes)
+        got = pack_into_n_bins(items, n_bins, capacity)
+        assert_identical(got, reference.pack_into_n_bins(items, n_bins, capacity))
+        validate_packing(items, got)
+
+    @given(sizes=size_lists, n_bins=bin_counts)
+    @settings(max_examples=100, deadline=None)
+    def test_tight_capacity_forces_overflow(self, sizes, n_bins):
+        # Capacity chosen so a large share of items overflow into the spill
+        # path, which must match the reference's min(used) scan exactly.
+        items = items_of(sizes)
+        capacity = max(1, sum(sizes) // (2 * n_bins) or 1)
+        got = pack_into_n_bins(items, n_bins, capacity)
+        assert_identical(got, reference.pack_into_n_bins(items, n_bins, capacity))
+        validate_packing(items, got)
+
+
+class TestUniformEquivalence:
+    @given(sizes=size_lists, n_bins=bin_counts, preserve_order=st.booleans())
+    @settings(max_examples=200, deadline=None)
+    def test_uniform(self, sizes, n_bins, preserve_order):
+        items = items_of(sizes)
+        got = uniform_bins(items, n_bins, preserve_order=preserve_order)
+        want = reference.uniform_bins(items, n_bins, preserve_order=preserve_order)
+        assert_identical(got, want)
+        validate_packing(items, got)
+
+
+class TestColumnarPaths:
+    """(keys, sizes) columns and *_layout kernels agree with the object API."""
+
+    @given(sizes=size_lists, capacity=capacities)
+    @settings(max_examples=50, deadline=None)
+    def test_column_input_matches_items(self, sizes, capacity):
+        items = items_of(sizes)
+        keys = [it.key for it in items]
+        assert_identical(
+            first_fit((keys, sizes), capacity), first_fit(items, capacity)
+        )
+        assert_identical(
+            subset_sum_first_fit((keys, sizes), capacity, preserve_order=False),
+            subset_sum_first_fit(items, capacity, preserve_order=False),
+        )
+        assert_identical(
+            uniform_bins((keys, sizes), 5, preserve_order=False),
+            uniform_bins(items, 5, preserve_order=False),
+        )
+
+    @given(sizes=size_lists, capacity=capacities)
+    @settings(max_examples=50, deadline=None)
+    def test_layout_matches_bins(self, sizes, capacity):
+        items = items_of(sizes)
+        layouts = first_fit_layout(sizes, capacity)
+        bins = first_fit(items, capacity)
+        assert [l.indices for l in layouts] == [
+            [int(it.key[1:]) for it in b.items] for b in bins
+        ]
+        assert [l.used for l in layouts] == [b.used for b in bins]
+        assert [l.capacity for l in layouts] == [b.capacity for b in bins]
+
+
+class TestOverflowSpillRegression:
+    def test_thousands_of_overflow_items_spill_balanced(self):
+        """Regression for the O(overflow·B) min() rescan: thousands of
+        items overflowing into few bins must stay fast and balanced."""
+        rnd = random.Random(7)
+        sizes = [rnd.randint(1, 100) for _ in range(5000)]
+        items = items_of(sizes)
+        bins = pack_into_n_bins(items, 8, capacity=50)
+        validate_packing(items, bins)
+        # The spill heap must keep loads near-balanced: no bin may exceed
+        # the ideal share by more than one max-size item.
+        loads = [b.used for b in bins]
+        assert max(loads) - min(loads) <= 100
+        # And the result still matches the reference scan exactly.
+        want = reference.pack_into_n_bins(items, 8, capacity=50)
+        assert_identical(bins, want)
+
+    def test_strict_overflow_raises(self):
+        from repro.packing import PackingError
+
+        items = items_of([10, 10, 10])
+        with pytest.raises(PackingError):
+            pack_into_n_bins(items, 1, capacity=15, strict=True)
+
+
+class TestFreeSpaceIndex:
+    def test_first_fit_slot_leftmost(self):
+        fsi = FreeSpaceIndex()
+        for free in [5, 20, 10, 20]:
+            fsi.append(free)
+        assert fsi.first_fit_slot(6) == 1
+        assert fsi.first_fit_slot(21) == -1
+        assert fsi.first_fit_slot(0) == 0
+        fsi.consume(1, 18)  # free now [5, 2, 10, 20]
+        assert fsi.first_fit_slot(6) == 2
+        assert fsi.max_free() == 20
+
+    def test_best_fit_slot_smallest_sufficient(self):
+        fsi = FreeSpaceIndex()
+        for free in [50, 8, 30, 8]:
+            fsi.append(free)
+        assert fsi.best_fit_slot(7) == 1     # smallest free >= 7, lowest slot
+        assert fsi.best_fit_slot(9) == 2
+        assert fsi.best_fit_slot(51) == -1
+        fsi.consume(1, 8)                    # slot 1 now full
+        assert fsi.best_fit_slot(7) == 3
+
+    def test_lightest_tracks_loads(self):
+        fsi = FreeSpaceIndex()
+        for _ in range(3):
+            fsi.append(0)
+        fsi.add_load(0, 5)
+        fsi.add_load(1, 2)
+        assert fsi.lightest() == 2
+        fsi.add_load(2, 10)
+        assert fsi.lightest() == 1
+        fsi.add_load(1, 100)
+        assert fsi.lightest() == 0
+
+    def test_growth_keeps_answers(self):
+        fsi = FreeSpaceIndex()
+        for i in range(100):
+            fsi.append(i)
+        # Leftmost slot with free >= 37 is slot 37 itself.
+        assert fsi.first_fit_slot(37) == 37
+        assert fsi.max_free() == 99
+        assert len(fsi) == 100
+
+    def test_brute_force_agreement(self):
+        rnd = random.Random(3)
+        fsi = FreeSpaceIndex()
+        frees = []
+        for _ in range(400):
+            op = rnd.random()
+            if op < 0.4 or not frees:
+                f = rnd.randint(0, 50)
+                fsi.append(f)
+                frees.append(f)
+            elif op < 0.8:
+                s = rnd.randint(0, 60)
+                want = next((i for i, f in enumerate(frees) if f >= s), -1)
+                assert fsi.first_fit_slot(s) == want
+                s2 = rnd.randint(0, 60)
+                fitting = [(f, i) for i, f in enumerate(frees) if f >= s2]
+                assert fsi.best_fit_slot(s2) == (min(fitting)[1] if fitting else -1)
+            else:
+                i = rnd.randrange(len(frees))
+                take = rnd.randint(0, frees[i])
+                fsi.consume(i, take)
+                frees[i] -= take
+
+
+class TestPackingCache:
+    def _cat(self, n=200, seed=5):
+        from repro.corpus import text_400k_like
+
+        return text_400k_like(scale=n / 400_000, seed=seed)
+
+    def test_exact_hit(self):
+        cat = self._cat()
+        cache = PackingCache()
+        a = cache.pack_layout(cat, 10_000)
+        b = cache.pack_layout(cat, 10_000)
+        assert a is b
+        assert cache.stats()["hits"] == 1
+
+    def test_multiple_of_base_is_derived(self):
+        cat = self._cat()
+        cache = PackingCache()
+        base = cache.pack_layout(cat, 10_000)
+        derived = cache.pack_layout(cat, 30_000)
+        assert cache.stats()["derived"] == 1
+        # Derived = groups of 3 consecutive base bins.
+        merged = [i for l in derived for i in l.indices]
+        assert merged == [i for l in base for i in l.indices]
+        from repro.packing import derive_multiples_layout
+
+        assert [l.indices for l in derive_multiples_layout(base, [3])[3]] == [
+            l.indices for l in derived
+        ]
+
+    def test_derive_from_restriction(self):
+        cat = self._cat()
+        cache = PackingCache()
+        cache.pack_layout(cat, 10_000)
+        # derive_from pinning a non-divisor forces a direct pack.
+        cache.pack_layout(cat, 25_000, derive_from=10_000)
+        assert cache.stats()["derived"] == 0
+
+    def test_same_size_column_shares_entries(self):
+        a, b = self._cat(seed=5), self._cat(seed=5)
+        assert a.fingerprint() == b.fingerprint()
+        cache = PackingCache()
+        cache.pack_layout(a, 10_000)
+        cache.pack_layout(b, 10_000)
+        assert cache.stats()["hits"] == 1
+
+    def test_eviction_bound(self):
+        cat = self._cat()
+        cache = PackingCache(max_entries=2)
+        for s in [1000, 3000, 7000, 11000]:
+            cache.pack_layout(cat, s, derive_from=1)
+        assert len(cache) <= 2

@@ -111,3 +111,63 @@ class TestSafety:
             eng.schedule_at(float(i), lambda: None)
         eng.run()
         assert eng.events_fired == 5
+
+
+class TestPendingCounter:
+    """``pending`` is a live counter, not a heap scan (regression)."""
+
+    def test_cancel_is_idempotent(self):
+        eng = SimulationEngine()
+        ev = eng.schedule_at(1.0, lambda: None)
+        eng.schedule_at(2.0, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        ev.cancel()
+        assert eng.pending == 1
+
+    def test_cancel_after_fire_does_not_decrement(self):
+        eng = SimulationEngine()
+        ev = eng.schedule_at(1.0, lambda: None)
+        eng.schedule_at(2.0, lambda: None)
+        eng.step()
+        assert eng.pending == 1
+        ev.cancel()  # already fired: must be a no-op
+        assert eng.pending == 1
+
+    def test_counter_tracks_schedule_fire_cancel(self):
+        eng = SimulationEngine()
+        events = [eng.schedule_at(float(i), lambda: None) for i in range(10)]
+        assert eng.pending == 10
+        events[7].cancel()
+        events[8].cancel()
+        assert eng.pending == 8
+        for _ in range(3):
+            eng.step()
+        assert eng.pending == 5
+        eng.run()
+        assert eng.pending == 0
+
+    def test_cancel_inside_callback(self):
+        eng = SimulationEngine()
+        victim = eng.schedule_at(5.0, lambda: None)
+        eng.schedule_at(1.0, victim.cancel)
+        eng.run()
+        assert eng.pending == 0
+        assert eng.events_fired == 1
+
+    def test_pending_matches_heap_scan(self):
+        import random as _random
+
+        rnd = _random.Random(11)
+        eng = SimulationEngine()
+        live = []
+        for _ in range(300):
+            r = rnd.random()
+            if r < 0.5:
+                live.append(eng.schedule_at(eng.now + rnd.random(), lambda: None))
+            elif r < 0.75 and live:
+                live.pop(rnd.randrange(len(live))).cancel()
+            else:
+                eng.step()
+            scan = sum(1 for e in eng._heap if not e.event.cancelled)
+            assert eng.pending == scan
