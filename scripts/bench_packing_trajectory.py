@@ -32,18 +32,68 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 OUT = REPO / "BENCH_packing.json"
-BENCH_FILE = "benchmarks/test_perf_kernels.py"
+BENCH_FILES = [
+    "benchmarks/test_perf_kernels.py",
+    "benchmarks/test_perf_obs_overhead.py",
+]
+BENCH_FILE = BENCH_FILES[0]  # kept for the trajectory-file description
 
 
 def run_benchmarks(raw_path: Path) -> None:
     """Run the kernel bench suite, writing pytest-benchmark JSON to ``raw_path``."""
     cmd = [
-        sys.executable, "-m", "pytest", BENCH_FILE,
+        sys.executable, "-m", "pytest", *BENCH_FILES,
         "--benchmark-only", f"--benchmark-json={raw_path}", "-q",
     ]
     res = subprocess.run(cmd, cwd=REPO, env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin:/usr/local/bin"})
     if res.returncode != 0:
         raise SystemExit(f"benchmark run failed (exit {res.returncode})")
+
+
+def collect_obs_stats() -> dict:
+    """Observability facts for the entry: cache hit-rate and span volume.
+
+    Runs the same probe-set workload twice against one shared cache with
+    the observability bundle enabled — the second pass must be all hits —
+    and reports the packing-cache counters plus how many trace records the
+    instrumentation produced.  A future change that silently stops caching
+    (hit-rate drop) or floods the tracer (span-count jump) shows up in the
+    trajectory next to the kernel medians it would distort.
+    """
+    sys.path.insert(0, str(REPO / "src"))
+    from repro import obs as obs_mod
+    from repro.corpus import text_400k_like
+    from repro.packing import PackingCache
+    from repro.perfmodel.probes import build_probe_set
+    from repro.units import KB, MB
+
+    o = obs_mod.configure()
+    try:
+        cat = text_400k_like(scale=0.1)          # 40k files, as in the bench
+        cache = PackingCache()
+        sizes = [256 * KB, 512 * KB, 1 * MB, 2 * MB]
+        volume = cat.total_size // 2
+        for _ in range(2):
+            build_probe_set(cat, volume, sizes, cache=cache)
+        counters = o.metrics.snapshot()["counters"]
+
+        def total(prefix: str) -> float:
+            return sum(v for k, v in counters.items() if k.startswith(prefix))
+
+        hits = total("packing.cache.hits")
+        misses = total("packing.cache.misses")
+        return {
+            "workload": "probe-set build x2, 40k files, 4 unit sizes",
+            "cache_hits": int(hits),
+            "cache_misses": int(misses),
+            "cache_derived": int(total("packing.cache.derived")),
+            "cache_hit_rate": round(hits / (hits + misses), 4)
+            if hits + misses else 0.0,
+            "span_count": o.tracer.span_count,
+            "instant_count": len(o.tracer.instants),
+        }
+    finally:
+        obs_mod.disable()
 
 
 def distil(raw: dict) -> dict[str, dict[str, float]]:
@@ -94,6 +144,7 @@ def main() -> None:
         "label": args.label,
         "date": date.today().isoformat(),
         "kernels": distil(raw),
+        "obs": collect_obs_stats(),
     }
 
     trajectory = load_trajectory()

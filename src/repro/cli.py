@@ -1,4 +1,4 @@
-"""Command-line interface: regenerate figures and inspect data sets.
+"""Command-line interface: regenerate figures, inspect data, trace demos.
 
 Usage::
 
@@ -6,17 +6,39 @@ Usage::
     python -m repro.cli figures --all
     python -m repro.cli datasets                   # Fig. 1 summaries
     python -m repro.cli quickstart                 # the end-to-end demo
+    python -m repro.cli trace quickstart --out trace.json
+                                                   # traced demo run
+
+Any subcommand accepts ``--metrics`` to print the metrics table the run
+accumulated; ``trace`` additionally records spans and writes a Chrome
+``trace_event`` file loadable in ``chrome://tracing`` / Perfetto.
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
+from pathlib import Path
 from typing import Callable
 
+from repro.obs import configure, disable, get_logger, install
+from repro.obs.export import render_metrics_table, write_chrome_trace, write_jsonl
 from repro.report.figures import FigureResult, render_ascii
 
-__all__ = ["main", "FIGURES"]
+__all__ = ["main", "FIGURES", "DEMOS"]
+
+_log = get_logger("cli")
+
+#: Demo name → script under ``examples/`` (the ``trace`` subcommand's menu).
+DEMOS: dict[str, str] = {
+    "quickstart": "quickstart.py",
+    "spot_market": "spot_market.py",
+    "fault_tolerance": "fault_tolerance.py",
+    "text_workflow": "text_workflow.py",
+    "dynamic_rescheduling": "dynamic_rescheduling.py",
+    "fleet_learning": "fleet_learning.py",
+    "news_grep_campaign": "news_grep_campaign.py",
+    "pos_deadline_scheduling": "pos_deadline_scheduling.py",
+}
 
 
 def _fig1a() -> FigureResult:
@@ -90,16 +112,32 @@ FIGURES: dict[str, Callable[[], FigureResult]] = {
 }
 
 
+def _examples_dir() -> Path:
+    return Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run_demo(demo: str) -> None:
+    import runpy
+
+    runpy.run_path(str(_examples_dir() / DEMOS[demo]), run_name="__main__")
+
+
+def _maybe_print_metrics(args: argparse.Namespace, obs) -> None:
+    if getattr(args, "metrics", False) and obs is not None:
+        print()
+        print(render_metrics_table(obs.metrics))
+
+
 def cmd_figures(args: argparse.Namespace) -> int:
     """``figures`` subcommand: render the requested figures."""
     ids = list(FIGURES) if args.all else args.ids
     if not ids:
-        print("no figure ids given (use --ids F4 F7 … or --all)", file=sys.stderr)
+        _log.error("no figure ids given (use --ids F4 F7 … or --all)")
         return 2
     unknown = [i for i in ids if i not in FIGURES]
     if unknown:
-        print(f"unknown figure id(s): {unknown}; known: {sorted(FIGURES)}",
-              file=sys.stderr)
+        _log.error("unknown figure id(s): %s; known: %s",
+                   unknown, sorted(FIGURES))
         return 2
     for fid in ids:
         print(render_ascii(FIGURES[fid]()))
@@ -121,16 +159,42 @@ def cmd_datasets(_args: argparse.Namespace) -> int:
 
 def cmd_quickstart(_args: argparse.Namespace) -> int:
     """``quickstart`` subcommand: run the quickstart example."""
-    import runpy
-    from pathlib import Path
+    _run_demo("quickstart")
+    return 0
 
-    script = Path(__file__).resolve().parents[2] / "examples" / "quickstart.py"
-    runpy.run_path(str(script), run_name="__main__")
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``trace`` subcommand: run a demo with observability on, export it."""
+    if args.demo not in DEMOS:
+        _log.error("unknown demo %r; known: %s", args.demo, sorted(DEMOS))
+        return 2
+    obs = configure()
+    try:
+        _run_demo(args.demo)
+    finally:
+        disable()
+    tracer = obs.tracer
+    if args.out:
+        write_chrome_trace(tracer, args.out)
+        _log.info("wrote Chrome trace (%d spans, %d instants, cats: %s) to %s",
+                  tracer.span_count, len(tracer.instants),
+                  ",".join(tracer.categories()), args.out)
+    if args.jsonl:
+        write_jsonl(tracer, args.jsonl)
+        _log.info("wrote JSONL event log to %s", args.jsonl)
+    if args.gantt:
+        from repro.report import render_trace_gantt
+
+        print()
+        print(render_trace_gantt(tracer, category=args.gantt_category))
+    print()
+    print(render_metrics_table(obs.metrics, title=f"metrics: {args.demo}"))
     return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit status."""
+    install()
     parser = argparse.ArgumentParser(
         prog="repro", description="Regenerate the paper's figures and demos.")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -147,8 +211,35 @@ def main(argv: list[str] | None = None) -> int:
     p_qs = sub.add_parser("quickstart", help="run the quickstart example")
     p_qs.set_defaults(fn=cmd_quickstart)
 
+    p_tr = sub.add_parser("trace", help="run a demo with tracing enabled")
+    p_tr.add_argument("demo", metavar="DEMO",
+                      help=f"demo to trace ({', '.join(DEMOS)})")
+    p_tr.add_argument("--out", metavar="PATH", default=None,
+                      help="write a Chrome trace_event JSON file")
+    p_tr.add_argument("--jsonl", metavar="PATH", default=None,
+                      help="write a JSONL span/instant log")
+    p_tr.add_argument("--gantt", action="store_true",
+                      help="print an ASCII Gantt of the recorded spans")
+    p_tr.add_argument("--gantt-category", metavar="CAT", default="runner",
+                      help="span category for --gantt (default: runner)")
+    p_tr.set_defaults(fn=cmd_trace)
+
+    for p in (p_fig, p_ds, p_qs, p_tr):
+        p.add_argument("--metrics", action="store_true",
+                       help="print the metrics table after the run")
+
     args = parser.parse_args(argv)
-    return args.fn(args)
+    # ``trace`` manages its own Obs bundle (spans + metrics); the other
+    # subcommands only need the registry when --metrics is requested.
+    if args.fn is cmd_trace:
+        return args.fn(args)
+    obs = configure(trace=False) if args.metrics else None
+    try:
+        return args.fn(args)
+    finally:
+        if obs is not None:
+            _maybe_print_metrics(args, obs)
+            disable()
 
 
 if __name__ == "__main__":

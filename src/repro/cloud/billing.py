@@ -11,6 +11,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Obs
 
 __all__ = ["UsageRecord", "BillingLedger", "billable_hours"]
 
@@ -54,8 +58,9 @@ class BillingLedger:
     only RUNNING intervals are ever recorded.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, obs: "Obs | None" = None) -> None:
         self._records: list[UsageRecord] = []
+        self._obs = obs
 
     def record(self, instance_id: str, instance_type: str, start: float,
                end: float, hourly_rate: float) -> UsageRecord:
@@ -64,6 +69,16 @@ class BillingLedger:
             raise ValueError(f"usage interval ends before it starts: [{start}, {end}]")
         rec = UsageRecord(instance_id, instance_type, start, end, hourly_rate)
         self._records.append(rec)
+        obs = self._obs
+        if obs is not None and obs.enabled:
+            # Every ledger write is a ceil-hour billing tick: the §1.1
+            # pricing fact, now visible in traces and metrics.
+            obs.tracer.instant("cloud.billing.tick", cat="cloud",
+                               track="billing", instance=instance_id,
+                               hours=rec.hours, cost=round(rec.cost, 4))
+            obs.metrics.counter("cloud.billing.records").inc()
+            obs.metrics.counter("cloud.billing.instance_hours").inc(rec.hours)
+            obs.metrics.counter("cloud.billing.cost_usd").inc(rec.cost)
         return rec
 
     @property

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.obs import Obs, get_obs
 from repro.cloud.billing import BillingLedger
 from repro.cloud.ebs import EbsError, EbsVolume, PlacementModel
 from repro.cloud.instance import HeterogeneityModel, Instance, InstanceError, InstanceState
@@ -32,10 +33,18 @@ class Cloud:
         cpu_heterogeneity: HeterogeneityModel | None = None,
         io_heterogeneity: HeterogeneityModel | None = None,
         failure_model: "FailureModel | None" = None,
+        obs: Obs | None = None,
     ) -> None:
         from repro.cloud.instance import CPU_HETEROGENEITY, IO_HETEROGENEITY
 
-        self.engine = SimulationEngine()
+        # Observability: captured at construction (module default unless
+        # given).  The tracer is bound to this cloud's engine clock, so
+        # every span/instant below is on *simulated* seconds.
+        self.obs = obs or get_obs()
+        self.engine = SimulationEngine(
+            tracer=self.obs.tracer if self.obs.tracer.enabled else None)
+        if self.obs.tracer.enabled:
+            self.obs.tracer.bind_clock(lambda: self.engine.now)
         self.rng = RngStream(seed, name="cloud")
         self.region = region
         # ``heterogeneity`` overrides both resource models when given.
@@ -44,7 +53,7 @@ class Cloud:
         self.placement = placement or PlacementModel()
         self.boot_delay_range = boot_delay_range
         self.failure_model = failure_model
-        self.ledger = BillingLedger()
+        self.ledger = BillingLedger(obs=self.obs)
         self.s3 = S3Store(region_name=region.name)
         self._instances: dict[str, Instance] = {}
         self._volumes: dict[str, EbsVolume] = {}
@@ -91,8 +100,17 @@ class Cloud:
                 self.failure_model.draw_time_to_failure(rng.fork("failure"))
                 if self.failure_model is not None else None
             ),
+            _obs=self.obs,
         )
         self._instances[inst.instance_id] = inst
+        if self.obs.enabled:
+            self.obs.tracer.instant("cloud.instance.pending", cat="cloud",
+                                    track=inst.instance_id,
+                                    itype=itype.name, zone=inst.zone.name)
+            self.obs.metrics.counter("cloud.instance.launches",
+                                     itype=itype.name).inc()
+            self.obs.metrics.histogram(
+                "cloud.instance.boot_seconds").observe(inst.boot_delay)
         if wait:
             self.advance(inst.boot_delay)
             inst.mark_running(self.now)

@@ -4,9 +4,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.cloud.types import AvailabilityZone, InstanceType
 from repro.sim.random import RngStream
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Obs
 
 __all__ = ["InstanceState", "Instance", "HeterogeneityModel", "InstanceError"]
 
@@ -88,6 +92,9 @@ class Instance:
     attached_volumes: list = field(default_factory=list)
     #: RUNNING seconds until a hardware crash (None = never fails).
     time_to_failure: float | None = None
+    #: Observability bundle (set by the launching cloud); lifecycle
+    #: transitions emit ``cloud.instance.*`` instants/spans through it.
+    _obs: "Obs | None" = field(default=None, repr=False, compare=False)
 
     @property
     def ready_at(self) -> float:
@@ -112,6 +119,15 @@ class Instance:
             )
         self.state = InstanceState.RUNNING
         self.running_since = now
+        obs = self._obs
+        if obs is not None and obs.enabled:
+            # The PENDING->RUNNING boot window as a span on this
+            # instance's track, plus the state-change instant.
+            obs.tracer.add_span("cloud.instance.boot", self.launched_at,
+                                self.ready_at, cat="cloud",
+                                track=self.instance_id)
+            obs.tracer.instant("cloud.instance.running", cat="cloud",
+                               track=self.instance_id)
 
     def fail(self, now: float) -> None:
         """Hardware crash: instance-store contents are lost, EBS survives."""
@@ -121,6 +137,10 @@ class Instance:
         self.terminated_at = now
         for vol in list(self.attached_volumes):
             vol.detach()
+        self._close_lifecycle("cloud.instance.failed", now)
+        obs = self._obs
+        if obs is not None and obs.enabled:
+            obs.metrics.counter("cloud.instance.failures").inc()
 
     def terminate(self, now: float) -> None:
         """Enter TERMINATED; detaches any EBS volumes."""
@@ -132,6 +152,18 @@ class Instance:
         self.terminated_at = now
         for vol in list(self.attached_volumes):
             vol.detach()
+        self._close_lifecycle("cloud.instance.terminated", now)
+
+    def _close_lifecycle(self, instant_name: str, now: float) -> None:
+        """Emit the RUNNING-interval span and the final state instant."""
+        obs = self._obs
+        if obs is None or not obs.enabled:
+            return
+        if self.running_since is not None and now >= self.running_since:
+            obs.tracer.add_span("cloud.instance.run", self.running_since,
+                                now, cat="cloud", track=self.instance_id,
+                                state=self.state.value)
+        obs.tracer.instant(instant_name, cat="cloud", track=self.instance_id)
 
     @property
     def billable_interval(self) -> tuple[float, float] | None:

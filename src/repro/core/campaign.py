@@ -91,6 +91,8 @@ class Campaign:
     ) -> CampaignResult:
         """Execute the full pipeline and return every intermediate artefact."""
         cloud = self.cloud
+        obs = cloud.obs
+        t_campaign_start = cloud.now
         # §4: vet an instance before trusting any measurement.
         probe_instance, attempts = acquire_good_instance(cloud)
         svc = ExecutionService(cloud)
@@ -145,6 +147,8 @@ class Campaign:
                                    directory=f"probes/extend/v{vol}")
             xs, ys = probes.timing_points(preferred.label)
         model = fit_affine(xs, ys)
+        if obs.enabled:
+            obs.metrics.counter("perfmodel.model.fits").inc()
 
         refit = None
         if refit_samples > 0:
@@ -155,6 +159,8 @@ class Campaign:
                 unit_size=preferred.label if isinstance(preferred.label, int) else None,
             )
             refit = refit_with_samples(list(zip(xs, ys)), pts)
+            if obs.enabled:
+                obs.metrics.counter("perfmodel.model.refits").inc()
 
         if storage is not None:
             storage.detach()
@@ -174,6 +180,12 @@ class Campaign:
             strategy=strategy, planning_deadline=planning_deadline,
         )
         report = execute_plan(cloud, self.workload, plan, service=svc)
+        if obs.enabled:
+            obs.tracer.add_span("core.campaign.run", t_campaign_start,
+                                cloud.now, cat="core", track="campaign",
+                                strategy=strategy,
+                                preferred_unit=str(preferred.label),
+                                instances=plan.n_instances)
         return CampaignResult(
             acquisition_attempts=attempts,
             probe_sets=protocol.probe_sets,

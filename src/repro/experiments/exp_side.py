@@ -9,6 +9,7 @@ from repro.apps import GrepApplication, GrepCostProfile, PosCostProfile, PosTagg
 from repro.cloud import Cloud, ExecutionService, Workload
 from repro.cloud.spot import SpotMarket, SpotRequest
 from repro.corpus import text_400k_like
+from repro.obs import get_logger
 from repro.report.figures import FigureResult
 from repro.sim.random import RngStream
 from repro.units import GB, KB, MB
@@ -16,6 +17,8 @@ from repro.vfs.files import Catalogue
 
 __all__ = ["instance_switching", "probe_protocol_trace", "output_retrieval",
            "spot_tradeoff", "prediction_approaches", "sampling_vitality"]
+
+_log = get_logger("experiments.side")
 
 
 def sampling_vitality(seed: int = 23) -> tuple[FigureResult, dict]:
@@ -45,6 +48,7 @@ def sampling_vitality(seed: int = 23) -> tuple[FigureResult, dict]:
         ("uniform_news", text_400k_like(scale=0.05, seed=seed)),
         ("clustered_domains", mixed_domain_like(scale=0.05, seed=seed)),
     ):
+        _log.info("sampling_vitality: corpus %s (%d files)", name, len(cat))
         cloud = Cloud(seed=seed)
         inst = cloud.launch_instance()
         inst.cpu_factor = inst.io_factor = 1.0
@@ -70,6 +74,8 @@ def sampling_vitality(seed: int = 23) -> tuple[FigureResult, dict]:
         actual = svc.run(inst, list(cat), wl)
         err_head = abs(head_model.predict(cat.total_size) - actual) / actual
         err_refit = abs(refit.predict(cat.total_size) - actual) / actual
+        _log.info("sampling_vitality: %s head error %.1f%%, refit error %.1f%%",
+                  name, 100 * err_head, 100 * err_refit)
         out[name] = {
             "head_error": float(err_head),
             "refit_error": float(err_refit),
@@ -118,6 +124,7 @@ def prediction_approaches(seed: int = 55, scale: float = 5e-3) -> tuple[FigureRe
     volume.attach(instance)
 
     # historical: past runs on unvetted instances of mixed quality
+    _log.info("prediction_approaches: building historical record (8 past runs)")
     history = RunHistory()
     for i in range(8):
         past = cloud.launch_instance()
@@ -160,6 +167,8 @@ def prediction_approaches(seed: int = 55, scale: float = 5e-3) -> tuple[FigureRe
         "historical": float(historical.predict(held_volume)),
     }
     errors = {k: abs(v - actual) / actual for k, v in preds.items()}
+    _log.info("prediction_approaches: actual %.1fs, errors %s", actual,
+              ", ".join(f"{k} {e:.1%}" for k, e in errors.items()))
 
     fig = FigureResult("Approaches", "§4: three ways to predict the same run")
     fig.add("predicted seconds (actual last)",
@@ -219,6 +228,8 @@ def probe_protocol_trace(seed: int = 31) -> tuple[FigureResult, dict]:
         growth=5,
         max_rounds=5,
     )
+    _log.info("probe_protocol_trace: %d round(s), stable=%s",
+              len(result.probe_sets), result.stable)
     fig = FigureResult("Protocol", "§4 escalating probe protocol")
     rows = []
     for ps in result.probe_sets:

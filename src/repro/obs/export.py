@@ -1,0 +1,146 @@
+"""Exporters: Chrome ``trace_event`` JSON, JSONL streams, ASCII tables.
+
+The Chrome format (loadable in ``chrome://tracing`` or Perfetto) maps the
+tracer's model directly: each track becomes a named thread, positive-length
+spans become matched ``B``/``E`` begin/end pairs, zero-length spans (common
+on simulated time: packing happens "between ticks") become ``X`` complete
+events with ``dur: 0``, and instants become ``i`` events.  Timestamps are
+microseconds; simulated seconds are scaled by 1e6, so one simulated second
+reads as one second in the viewer.
+
+Event ordering at equal timestamps is chosen so nesting stays valid:
+ends sort before begins, outer spans open first and close last.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "chrome_trace_events", "to_chrome_trace", "write_chrome_trace",
+    "iter_jsonl_lines", "write_jsonl", "render_metrics_table",
+]
+
+_US = 1e6  # seconds -> trace_event microseconds
+_PID = 1
+
+
+def _tid_map(tracer: Tracer) -> dict[str, int]:
+    return {track: i + 1 for i, track in enumerate(tracer.tracks())}
+
+
+def chrome_trace_events(tracer: Tracer) -> list[dict]:
+    """All trace events, metadata first, payload sorted by timestamp."""
+    tids = _tid_map(tracer)
+    events: list[dict] = [
+        {"ph": "M", "pid": _PID, "tid": tid, "ts": 0,
+         "name": "thread_name", "args": {"name": track}}
+        for track, tid in tids.items()
+    ]
+
+    # key: (ts_us, end-before-begin, nesting tie-break, record tie-break)
+    keyed: list[tuple[tuple, dict]] = []
+    for idx, s in enumerate(tracer.spans):
+        tid = tids[s.track]
+        t0, t1 = s.t0 * _US, s.t1 * _US
+        base = {"pid": _PID, "tid": tid, "name": s.name, "cat": s.cat or "span"}
+        if t1 > t0:
+            keyed.append(((t0, 1, -t1, -idx),
+                          {**base, "ph": "B", "ts": t0, "args": s.args}))
+            keyed.append(((t1, 0, -t0, idx), {**base, "ph": "E", "ts": t1}))
+        else:
+            keyed.append(((t0, 1, -t0, -idx),
+                          {**base, "ph": "X", "ts": t0, "dur": 0,
+                           "args": s.args}))
+    for idx, i in enumerate(tracer.instants):
+        ts = i.t * _US
+        keyed.append(((ts, 1, -ts, idx),
+                      {"ph": "i", "pid": _PID, "tid": tids[i.track],
+                       "name": i.name, "cat": i.cat or "instant", "ts": ts,
+                       "s": "t", "args": i.args}))
+
+    keyed.sort(key=lambda kv: kv[0])
+    events.extend(ev for _, ev in keyed)
+    return events
+
+
+def to_chrome_trace(tracer: Tracer) -> dict:
+    """The full ``trace_event`` document as a plain dict."""
+    return {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "simulated-seconds",
+            "spans": tracer.span_count,
+            "instants": len(tracer.instants),
+            "dropped": tracer.dropped,
+        },
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path) -> Path:
+    """Write the Chrome trace JSON; returns the path written."""
+    p = Path(path)
+    p.write_text(json.dumps(to_chrome_trace(tracer)), encoding="utf-8")
+    return p
+
+
+# -- JSONL -----------------------------------------------------------------
+
+
+def iter_jsonl_lines(tracer: Tracer) -> Iterator[str]:
+    """One JSON object per record, time-ordered, spans and instants mixed."""
+    records: list[tuple[float, dict]] = []
+    for s in tracer.spans:
+        records.append((s.t0, {"type": "span", "name": s.name, "cat": s.cat,
+                               "t0": s.t0, "t1": s.t1, "track": s.track,
+                               "depth": s.depth, "args": s.args}))
+    for i in tracer.instants:
+        records.append((i.t, {"type": "instant", "name": i.name, "cat": i.cat,
+                              "t": i.t, "track": i.track, "args": i.args}))
+    records.sort(key=lambda r: r[0])
+    for _, rec in records:
+        yield json.dumps(rec)
+
+
+def write_jsonl(tracer: Tracer, path) -> Path:
+    """Write the JSONL event log; returns the path written."""
+    p = Path(path)
+    p.write_text("\n".join(iter_jsonl_lines(tracer)) + "\n", encoding="utf-8")
+    return p
+
+
+# -- ASCII metrics table ---------------------------------------------------
+
+
+def _fmt(v: float) -> str:
+    if isinstance(v, float) and v != int(v):
+        return f"{v:,.4g}"
+    return f"{int(v):,}"
+
+
+def render_metrics_table(metrics: MetricsRegistry, *,
+                         title: str = "metrics") -> str:
+    """Aligned text table in the style of ``report.figures.render_ascii``."""
+    rows = list(metrics.series())
+    out = [f"== {title} =="]
+    if not rows:
+        out.append("   (no series recorded)")
+        return "\n".join(out)
+    sid_w = max(len(sid) for _, sid, _ in rows)
+    for kind, sid, inst in rows:
+        if kind in ("counter", "gauge"):
+            out.append(f"   {sid:<{sid_w}}  {_fmt(inst.value):>12}  [{kind}]")
+        else:
+            if inst.count:
+                detail = (f"n={inst.count} mean={inst.mean:.4g} "
+                          f"min={inst.vmin:.4g} max={inst.vmax:.4g}")
+            else:
+                detail = "n=0"
+            out.append(f"   {sid:<{sid_w}}  {detail}  [histogram]")
+    return "\n".join(out)

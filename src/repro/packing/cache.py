@@ -20,8 +20,10 @@ Returned layouts are shared objects: treat them as immutable.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Sequence
 
+from repro.obs import get_obs
 from repro.packing.first_fit import first_fit_layout
 from repro.packing.index import BinLayout
 from repro.packing.subset_sum import derive_multiples_layout, subset_sum_layout
@@ -73,18 +75,45 @@ class PackingCache:
         """
         if heuristic not in _KERNELS:
             raise ValueError(f"unknown packing heuristic {heuristic!r}")
+        obs = get_obs()
         fp = catalogue.fingerprint()
         key = (fp, heuristic, preserve_order, unit_size)
         found = self._store.get(key)
         if found is not None:
             self.hits += 1
+            if obs.enabled:
+                obs.metrics.counter("packing.cache.hits",
+                                    heuristic=heuristic).inc()
             return found
         self.misses += 1
         layouts = self._derive(fp, heuristic, preserve_order, unit_size, derive_from)
+        derived = layouts is not None
         if layouts is None:
-            layouts = _KERNELS[heuristic](
-                catalogue.sizes().tolist(), unit_size, preserve_order
-            )
+            if obs.enabled:
+                with obs.tracer.span("packing.pack", cat="packing",
+                                     track="packing", heuristic=heuristic,
+                                     unit_size=unit_size, n=len(catalogue)):
+                    t0 = time.perf_counter()
+                    layouts = _KERNELS[heuristic](
+                        catalogue.sizes().tolist(), unit_size, preserve_order
+                    )
+                    obs.metrics.histogram(
+                        "packing.pack.seconds", heuristic=heuristic
+                    ).observe(time.perf_counter() - t0)
+            else:
+                layouts = _KERNELS[heuristic](
+                    catalogue.sizes().tolist(), unit_size, preserve_order
+                )
+        if obs.enabled:
+            obs.metrics.counter("packing.cache.misses",
+                                heuristic=heuristic).inc()
+            if derived:
+                obs.metrics.counter("packing.cache.derived",
+                                    heuristic=heuristic).inc()
+            obs.metrics.histogram(
+                "packing.layout.bins",
+                buckets=(1, 10, 100, 1_000, 10_000, 100_000, 1_000_000),
+            ).observe(len(layouts))
         self._remember(key, layouts)
         return layouts
 

@@ -138,6 +138,7 @@ class ProbeCampaign:
         self.storage = storage
         self.repeats = repeats
         self.pack_cache = PackingCache()
+        self._obs = service.cloud.obs
         self._observations: list[tuple[int, str | int, Measurement]] = []
 
     # -- low-level -----------------------------------------------------------
@@ -146,13 +147,21 @@ class ProbeCampaign:
         """Time one probe ``repeats`` times (mean/std recorded)."""
         if self.storage is not None:
             self.storage.store(directory)
-        values = tuple(
-            self.service.run(
-                self.instance, units, self.workload,
-                storage=self.storage, directory=directory,
+        obs = self._obs
+        # Probe runs advance the simulated clock, so a live span brackets
+        # all repeats of this probe on simulated time.
+        with obs.tracer.span("perfmodel.probe.measure", cat="perfmodel",
+                             track="probes", directory=directory,
+                             units=len(units), repeats=self.repeats):
+            values = tuple(
+                self.service.run(
+                    self.instance, units, self.workload,
+                    storage=self.storage, directory=directory,
+                )
+                for _ in range(self.repeats)
             )
-            for _ in range(self.repeats)
-        )
+        if obs.enabled:
+            obs.metrics.counter("perfmodel.probe.runs").inc(self.repeats)
         return Measurement(values=values)
 
     def measure_labeled(self, volume: int, label: str | int,
@@ -192,15 +201,28 @@ class ProbeCampaign:
         if initial_volume <= 0 or growth < 2:
             raise ValueError("need positive initial volume and growth >= 2")
         result = ProtocolResult()
+        obs = self._obs
         volume = initial_volume
-        for _ in range(max_rounds):
+        for round_no in range(max_rounds):
             sizes = [s for s in unit_sizes_for(volume) if s <= volume]
             ps = build_probe_set(catalogue, volume, sizes, cache=self.pack_cache)
             measured = self.run_probe_set(ps)
             result.probe_sets.append(measured)
+            if obs.enabled:
+                obs.tracer.instant("perfmodel.protocol.round",
+                                   cat="perfmodel", track="probes",
+                                   round=round_no, volume=volume,
+                                   stable=measured.stable(stability_cv))
+                obs.metrics.counter("perfmodel.protocol.rounds").inc()
             if measured.stable(stability_cv):
                 result.stable = True
+                if obs.enabled:
+                    obs.metrics.counter("perfmodel.protocol.stabilised").inc()
                 break
+            if obs.enabled:
+                # Unstable round: its measurements are discarded and the
+                # volume escalates (§4's "too unstable" rule).
+                obs.metrics.counter("perfmodel.protocol.unstable_rounds").inc()
             if volume >= catalogue.total_size:
                 break
             volume = min(volume * growth, catalogue.total_size)

@@ -7,7 +7,8 @@ paper-vs-measured comparison rows for EXPERIMENTS.md.
 
 from repro.report.compare import ComparisonRow, ComparisonTable
 from repro.report.figures import FigureResult, Series, render_ascii
-from repro.report.gantt import render_gantt
+from repro.report.gantt import render_gantt, render_trace_gantt, trace_rows
 
 __all__ = ["Series", "FigureResult", "render_ascii", "render_gantt",
+           "render_trace_gantt", "trace_rows",
            "ComparisonRow", "ComparisonTable"]

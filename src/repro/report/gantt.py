@@ -3,14 +3,23 @@
 Turns an :class:`~repro.runner.execute.ExecutionReport` into the
 per-instance bar chart the paper's Figs. 8–9 sketch: one row per instance,
 boot and work phases, the deadline as a vertical marker, misses flagged.
+
+:func:`render_trace_gantt` draws the same chart straight from a recorded
+:class:`~repro.obs.trace.Tracer`: every span track becomes a row and every
+span an interval on it, so any traced run — campaign, fault-tolerant
+replay, probe protocol — can be inspected without the runner assembling
+an interval list by hand.
 """
 
 from __future__ import annotations
 
+from typing import Iterable, Union
+
+from repro.obs.trace import SpanRecord, Tracer
 from repro.runner.execute import ExecutionReport
 from repro.units import fmt_seconds
 
-__all__ = ["render_gantt"]
+__all__ = ["render_gantt", "render_trace_gantt", "trace_rows"]
 
 
 def render_gantt(report: ExecutionReport, *, width: int = 64,
@@ -50,4 +59,78 @@ def render_gantt(report: ExecutionReport, *, width: int = 64,
                      f"{fmt_seconds(r.duration)}{flag}")
     lines.append(f"{'':>{id_w}} makespan {fmt_seconds(report.makespan)}, "
                  f"{report.n_missed} missed, {report.instance_hours} inst-h")
+    return "\n".join(lines)
+
+
+def trace_rows(
+    source: Union[Tracer, Iterable[SpanRecord]],
+    *,
+    category: str | None = None,
+) -> dict[str, list[SpanRecord]]:
+    """Group recorded spans by track, preserving first-appearance order.
+
+    ``source`` is a :class:`Tracer` or any iterable of
+    :class:`SpanRecord`; ``category`` keeps only spans whose ``cat``
+    matches (``None`` keeps everything).
+    """
+    spans = source.spans if isinstance(source, Tracer) else list(source)
+    rows: dict[str, list[SpanRecord]] = {}
+    for s in spans:
+        if category is not None and s.cat != category:
+            continue
+        rows.setdefault(s.track, []).append(s)
+    return rows
+
+
+def render_trace_gantt(
+    source: Union[Tracer, Iterable[SpanRecord]],
+    *,
+    width: int = 64,
+    category: str | None = None,
+    deadline: float | None = None,
+) -> str:
+    """Render recorded trace spans as a per-track Gantt chart.
+
+    One row per span track (instance, "probes", "campaign", ...), one
+    ``=`` bar per span, scaled over the union of all span intervals.
+    Zero-duration spans (packing on simulated time) render as a single
+    ``.``.  ``deadline`` draws the same ``|`` marker as
+    :func:`render_gantt`, measured from the earliest span start.
+    """
+    if width < 20:
+        raise ValueError("width must be at least 20 columns")
+    rows = trace_rows(source, category=category)
+    if not rows:
+        return "(no spans recorded)"
+    t_lo = min(s.t0 for spans in rows.values() for s in spans)
+    t_hi = max(s.t1 for spans in rows.values() for s in spans)
+    horizon = t_hi - t_lo
+    if deadline is not None:
+        horizon = max(horizon, deadline)
+    scale = (width - 1) / horizon if horizon > 0 else 0.0
+
+    id_w = max(len(track) for track in rows)
+    n_spans = sum(len(spans) for spans in rows.values())
+    header = (f"{n_spans} spans over {fmt_seconds(horizon)}"
+              + (f" in category '{category}'" if category else ""))
+    if deadline is not None:
+        header += f"; deadline {fmt_seconds(deadline)} at column marker '|'"
+    lines = [header]
+    for track, spans in rows.items():
+        cells = [" "] * width
+        for s in spans:
+            c0 = int((s.t0 - t_lo) * scale)
+            c1 = int((s.t1 - t_lo) * scale)
+            if c1 > c0:
+                for c in range(c0, min(c1, width)):
+                    cells[c] = "="
+            elif cells[c0] == " ":
+                cells[c0] = "."
+        if deadline is not None:
+            dcol = int(deadline * scale)
+            if dcol < width:
+                cells[dcol] = "|"
+        busy = sum(s.duration for s in spans)
+        lines.append(f"{track:>{id_w}} {''.join(cells)} "
+                     f"{fmt_seconds(busy)} ({len(spans)} spans)")
     return "\n".join(lines)

@@ -105,6 +105,7 @@ def execute_with_monitoring(
     """
     policy = policy or DynamicPolicy()
     svc = service or ExecutionService(cloud)
+    obs = cloud.obs
     report = ExecutionReport(deadline=plan.deadline, strategy=f"{plan.strategy}+dynamic")
     events: list[ReplacementEvent] = []
 
@@ -131,6 +132,14 @@ def execute_with_monitoring(
         expected_probe = predicted * (probe_volume / volume) if volume else t_probe
         effective = max(t_probe - policy.setup_allowance, 1e-9)
         ratio = expected_probe / effective
+        if obs.enabled:
+            obs.tracer.add_span("runner.probe.chunk", work_start,
+                                work_start + t_probe, cat="runner",
+                                track=inst.instance_id, bin=idx,
+                                observed_ratio=round(ratio, 4))
+            obs.metrics.histogram("runner.probe.ratio",
+                                  buckets=(0.25, 0.5, 0.7, 0.9, 1.0, 1.2, 2.0)
+                                  ).observe(ratio)
 
         duration = t_probe
         active = inst
@@ -174,6 +183,17 @@ def execute_with_monitoring(
                 if volume else 1.0,
                 observed_ratio=ratio,
             ))
+            if obs.enabled:
+                obs.tracer.instant("runner.straggler.replaced", cat="runner",
+                                   track=active.instance_id, bin=idx,
+                                   replacement=replacement.instance_id,
+                                   observed_ratio=round(ratio, 4))
+                obs.tracer.add_span(
+                    "runner.replacement.penalty", work_start + duration,
+                    work_start + duration + policy.replacement_penalty,
+                    cat="runner", track=replacement.instance_id, bin=idx)
+                obs.metrics.counter("runner.replacements",
+                                    mode=policy.replace_at).inc()
             active.terminate(max(cloud.now, work_start + duration))
             duration += policy.replacement_penalty
             active = replacement
@@ -181,7 +201,14 @@ def execute_with_monitoring(
             replacements += 1
 
         if rest:
+            t_rest_start = duration
             duration += svc.run(active, rest, workload, advance_clock=False)
+            if obs.enabled:
+                obs.tracer.add_span("runner.task.run",
+                                    work_start + t_rest_start,
+                                    work_start + duration, cat="runner",
+                                    track=active.instance_id, bin=idx,
+                                    n_units=len(rest))
 
         runs.append(InstanceRun(
             instance_id=active.instance_id,
@@ -202,4 +229,7 @@ def execute_with_monitoring(
         cloud.advance(max(r.duration for r in runs))
     for inst in cloud.running_instances():
         inst.terminate(cloud.now)
+    if obs.enabled:
+        obs.metrics.gauge("runner.deadline.margin", strategy=report.strategy
+                          ).set(report.deadline - report.makespan)
     return report, events

@@ -75,6 +75,7 @@ def execute_fault_tolerant(
     """
     policy = policy or FaultPolicy()
     svc = service or ExecutionService(cloud)
+    obs = cloud.obs
     report = ExecutionReport(deadline=plan.deadline,
                              strategy=f"{plan.strategy}+fault-tolerant")
     events: list[CrashEvent] = []
@@ -105,6 +106,13 @@ def execute_fault_tolerant(
             survives = (ttf is None
                         or state.elapsed - active_started + t_batch <= ttf)
             if survives:
+                if obs.enabled:
+                    obs.tracer.add_span(
+                        "runner.batch.run", work_start + state.elapsed,
+                        work_start + state.elapsed + t_batch, cat="runner",
+                        track=active.instance_id, bin=idx, batch=b,
+                        units=len(batch))
+                    obs.metrics.counter("runner.batches.completed").inc()
                 state.elapsed += t_batch
                 b += 1
                 continue
@@ -121,6 +129,17 @@ def execute_fault_tolerant(
                 at_elapsed=crash_elapsed,
                 lost_batch_units=len(batch),
             ))
+            if obs.enabled:
+                obs.tracer.instant("runner.crash.detected", cat="runner",
+                                   track=active.instance_id, bin=idx,
+                                   lost_units=len(batch))
+                obs.tracer.add_span(
+                    "runner.crash.recovery", work_start + crash_elapsed,
+                    work_start + crash_elapsed + policy.detection_timeout
+                    + policy.replacement_penalty, cat="runner",
+                    track=active.instance_id, bin=idx)
+                obs.metrics.counter("runner.crashes.detected").inc()
+                obs.metrics.counter("runner.units.requeued").inc(len(batch))
             state.elapsed = crash_elapsed + policy.detection_timeout
             # Bill the crashed instance for the hours it actually ran (the
             # runner tracks per-bin wall time off the global clock, so the
@@ -156,4 +175,7 @@ def execute_fault_tolerant(
         cloud.advance(max(r.duration for r in runs))
     for inst in cloud.running_instances():
         inst.terminate(cloud.now)
+    if obs.enabled:
+        obs.metrics.gauge("runner.deadline.margin", strategy=report.strategy
+                          ).set(report.deadline - report.makespan)
     return report, events

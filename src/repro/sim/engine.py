@@ -18,7 +18,10 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.trace import Tracer
 
 __all__ = ["Event", "SimulationEngine", "SimulationError"]
 
@@ -56,30 +59,57 @@ class Event:
         default=None, repr=False, compare=False
     )
     _consumed: bool = field(default=False, repr=False, compare=False)
+    #: True only while the engine's live ``pending`` counter includes this
+    #: event (set on schedule, cleared on fire and on first cancel).  The
+    #: counter is only ever decremented through this flag, so a cancel that
+    #: races a drained ``run`` — or a cancel of a hand-built Event that was
+    #: never scheduled — cannot drive ``pending`` negative.
+    _tracked: bool = field(default=False, repr=False, compare=False)
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped.
 
-        Idempotent: repeated cancels (and cancels after the event fired)
-        leave the engine's pending count untouched.
+        Idempotent: repeated cancels (and cancels after the event fired,
+        or after the engine drained) leave the pending count untouched.
         """
         if self.cancelled or self._consumed:
             return
         self.cancelled = True
-        if self._engine is not None:
-            self._engine._pending -= 1
+        eng = self._engine
+        if eng is not None and self._tracked:
+            self._tracked = False
+            eng._pending -= 1
+            assert eng._pending >= 0, \
+                f"pending counter underflow cancelling {self.label or 'event'}"
+            if eng._tracer is not None:
+                eng._tracer.instant("sim.engine.cancel", cat="sim",
+                                    track="sim", label=self.label,
+                                    t=self.time)
 
 
 class SimulationEngine:
-    """Binary-heap discrete-event scheduler with a monotonic clock."""
+    """Binary-heap discrete-event scheduler with a monotonic clock.
 
-    def __init__(self, max_events: int = 10_000_000) -> None:
+    With an enabled ``tracer``, the engine keeps a structured event log:
+    ``sim.engine.schedule`` / ``sim.engine.fire`` / ``sim.engine.cancel``
+    instants carry each event's label, and every ``run`` that advances the
+    clock records a ``sim.engine.run`` span on simulated time.  With no
+    tracer (the default) the cost is one ``None`` check per operation.
+    """
+
+    def __init__(self, max_events: int = 10_000_000,
+                 tracer: "Tracer | None" = None) -> None:
         self._heap: list[_HeapEntry] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._fired = 0
         self._pending = 0
         self.max_events = max_events
+        self._tracer = tracer if (tracer is not None and tracer.enabled) else None
+
+    def attach_tracer(self, tracer: "Tracer | None") -> None:
+        """Install (or remove, with ``None``) the structured event log."""
+        self._tracer = tracer if (tracer is not None and tracer.enabled) else None
 
     # -- clock -----------------------------------------------------------
 
@@ -100,9 +130,13 @@ class SimulationEngine:
             raise SimulationError(
                 f"cannot schedule {label or 'event'} at t={time} (now={self._now})"
             )
-        ev = Event(time=time, callback=callback, label=label, _engine=self)
+        ev = Event(time=time, callback=callback, label=label, _engine=self,
+                   _tracked=True)
         heapq.heappush(self._heap, _HeapEntry(time, next(self._seq), ev))
         self._pending += 1
+        if self._tracer is not None:
+            self._tracer.instant("sim.engine.schedule", cat="sim",
+                                 track="sim", label=label, t=time)
         return ev
 
     def schedule_in(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
@@ -121,11 +155,15 @@ class SimulationEngine:
             if ev.cancelled:
                 continue
             ev._consumed = True
+            ev._tracked = False
             self._pending -= 1
             self._now = entry.time
             self._fired += 1
             if self._fired > self.max_events:
                 raise SimulationError(f"runaway simulation: >{self.max_events} events")
+            if self._tracer is not None:
+                self._tracer.instant("sim.engine.fire", cat="sim",
+                                     track="sim", label=ev.label)
             ev.callback()
             return ev
         return None
@@ -137,16 +175,23 @@ class SimulationEngine:
         times strictly greater than ``until`` remain pending and the clock
         is advanced to ``until``.
         """
-        while self._heap:
-            nxt = self._peek_time()
-            if until is not None and nxt is not None and nxt > until:
+        t_start, fired_before = self._now, self._fired
+        try:
+            while self._heap:
+                nxt = self._peek_time()
+                if until is not None and nxt is not None and nxt > until:
+                    self._now = max(self._now, until)
+                    return self._now
+                if self.step() is None:
+                    break
+            if until is not None:
                 self._now = max(self._now, until)
-                return self._now
-            if self.step() is None:
-                break
-        if until is not None:
-            self._now = max(self._now, until)
-        return self._now
+            return self._now
+        finally:
+            if self._tracer is not None and self._now > t_start:
+                self._tracer.add_span("sim.engine.run", t_start, self._now,
+                                      cat="sim", track="sim",
+                                      fired=self._fired - fired_before)
 
     def _peek_time(self) -> Optional[float]:
         while self._heap and self._heap[0].event.cancelled:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import SimulationEngine, SimulationError
+from repro.sim.engine import Event, SimulationEngine, SimulationError
 
 
 class TestScheduling:
@@ -154,6 +154,31 @@ class TestPendingCounter:
         eng.run()
         assert eng.pending == 0
         assert eng.events_fired == 1
+
+    def test_cancel_after_drain_cannot_underflow(self):
+        """Regression: cancelling once the engine drained must not push
+        the live counter negative (the decrement is gated on ``_tracked``,
+        which firing clears)."""
+        eng = SimulationEngine()
+        events = [eng.schedule_at(float(i), lambda: None) for i in range(3)]
+        eng.run()
+        assert eng.pending == 0
+        for ev in events:
+            ev.cancel()
+            ev.cancel()
+        assert eng.pending == 0
+
+    def test_cancel_of_unscheduled_event_cannot_underflow(self):
+        """A hand-built Event pointing at an engine was never counted, so
+        cancelling it must not decrement."""
+        eng = SimulationEngine()
+        eng.schedule_at(1.0, lambda: None)
+        stray = Event(time=9.0, callback=lambda: None, _engine=eng)
+        stray.cancel()
+        assert stray.cancelled
+        assert eng.pending == 1
+        eng.run()
+        assert eng.pending == 0
 
     def test_pending_matches_heap_scan(self):
         import random as _random
