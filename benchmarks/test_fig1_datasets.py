@@ -1,6 +1,9 @@
 """Bench F1a/F1b: regenerate the Fig. 1 data-set size histograms."""
 
+import pytest
 from conftest import show, single_shot
+
+pytestmark = pytest.mark.smoke  # fast enough for the CI benchmark smoke job
 
 from repro.experiments import exp_fig1
 from repro.report import ComparisonTable

@@ -1,6 +1,9 @@
 """Bench F2: curve shapes and the §5 marginal provisioning rule."""
 
+import pytest
 from conftest import show, single_shot
+
+pytestmark = pytest.mark.smoke  # fast enough for the CI benchmark smoke job
 
 from repro.experiments import exp_fig2
 from repro.report import ComparisonTable

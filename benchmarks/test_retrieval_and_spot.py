@@ -1,7 +1,10 @@
 """Bench X4/X5: output-retrieval speedup (§1) and the spot-market extension
 (§1.1)."""
 
+import pytest
 from conftest import show, single_shot
+
+pytestmark = pytest.mark.smoke  # fast enough for the CI benchmark smoke job
 
 from repro.experiments import exp_side
 from repro.report import ComparisonTable

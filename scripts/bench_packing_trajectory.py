@@ -96,6 +96,33 @@ def collect_obs_stats() -> dict:
         obs_mod.disable()
 
 
+def collect_fleet_stats() -> dict:
+    """Fleet-sharing facts for the entry: shared vs isolated economics.
+
+    Runs the concurrent-campaigns experiment (8 grep+POS campaigns on one
+    shared fleet vs the same plans run in isolation) and records the two
+    bills, the warm-pool hit rate, and the miss rates.  A change that
+    regresses the warm pool (hit-rate drop) or erodes the §7 sharing
+    saving shows up in the trajectory like a kernel-median regression.
+    """
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.experiments.exp_fleet import shared_vs_isolated
+
+    _, stats = shared_vs_isolated()
+    return {
+        "workload": f"{stats['n_campaigns']} concurrent grep+POS campaigns, "
+                    "shared fleet vs isolated",
+        "shared_cost_usd": stats["shared_cost_usd"],
+        "isolated_cost_usd": stats["isolated_cost_usd"],
+        "saving_pct": stats["saving_pct"],
+        "warm_hit_rate": stats["warm_hit_rate"],
+        "shared_miss_rate": stats["shared_miss_rate"],
+        "isolated_miss_rate": stats["isolated_miss_rate"],
+        "shared_instance_hours": stats["shared_instance_hours"],
+        "isolated_instance_hours": stats["isolated_instance_hours"],
+    }
+
+
 def distil(raw: dict) -> dict[str, dict[str, float]]:
     """Reduce a pytest-benchmark dump to ``kernel -> median/ops``."""
     kernels: dict[str, dict[str, float]] = {}
@@ -145,6 +172,7 @@ def main() -> None:
         "date": date.today().isoformat(),
         "kernels": distil(raw),
         "obs": collect_obs_stats(),
+        "fleet": collect_fleet_stats(),
     }
 
     trajectory = load_trajectory()

@@ -36,6 +36,7 @@ DEMOS: dict[str, str] = {
     "text_workflow": "text_workflow.py",
     "dynamic_rescheduling": "dynamic_rescheduling.py",
     "fleet_learning": "fleet_learning.py",
+    "fleet_sharing": "fleet_sharing.py",
     "news_grep_campaign": "news_grep_campaign.py",
     "pos_deadline_scheduling": "pos_deadline_scheduling.py",
 }
@@ -163,6 +164,39 @@ def cmd_quickstart(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """``fleet`` subcommand: N concurrent campaigns on one shared fleet."""
+    from repro.experiments.exp_fleet import run_shared_fleet, shared_vs_isolated
+    from repro.report import render_trace_gantt
+
+    obs = configure()   # fleet spans feed the per-tenant gantt
+    try:
+        if args.compare:
+            fig, stats = shared_vs_isolated(
+                args.campaigns, max_instances=args.max_instances)
+            print(render_ascii(fig))
+            cloud = None
+        else:
+            cloud, report = run_shared_fleet(
+                args.campaigns, max_instances=args.max_instances)
+            s = report.summary()
+            print(f"{s['campaigns']} campaigns "
+                  f"({s['admitted']} admitted, {s['deferred']} deferred, "
+                  f"{s['rejected']} rejected): {s['bins']} bins on "
+                  f"{s['instances']} instances, {s['instance_hours']} "
+                  f"instance-hours, ${s['cost_usd']:.4f}, warm hit rate "
+                  f"{s['warm_hit_rate']:.2f}")
+            print()
+            print(report.render_attribution())
+            print()
+            print(render_trace_gantt(obs.tracer, category="fleet",
+                                     group_by="tenant"))
+    finally:
+        disable()
+    _maybe_print_metrics(args, obs)
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """``trace`` subcommand: run a demo with observability on, export it."""
     if args.demo not in DEMOS:
@@ -211,6 +245,17 @@ def main(argv: list[str] | None = None) -> int:
     p_qs = sub.add_parser("quickstart", help="run the quickstart example")
     p_qs.set_defaults(fn=cmd_quickstart)
 
+    p_fl = sub.add_parser(
+        "fleet", help="run concurrent campaigns on one shared fleet")
+    p_fl.add_argument("--campaigns", type=int, default=8, metavar="N",
+                      help="number of concurrent campaigns (default: 8)")
+    p_fl.add_argument("--max-instances", type=int, default=8, metavar="M",
+                      help="fleet instance cap (default: 8)")
+    p_fl.add_argument("--compare", action="store_true",
+                      help="also run the isolated baselines and print the "
+                           "shared-vs-isolated figure")
+    p_fl.set_defaults(fn=cmd_fleet)
+
     p_tr = sub.add_parser("trace", help="run a demo with tracing enabled")
     p_tr.add_argument("demo", metavar="DEMO",
                       help=f"demo to trace ({', '.join(DEMOS)})")
@@ -224,14 +269,15 @@ def main(argv: list[str] | None = None) -> int:
                       help="span category for --gantt (default: runner)")
     p_tr.set_defaults(fn=cmd_trace)
 
-    for p in (p_fig, p_ds, p_qs, p_tr):
+    for p in (p_fig, p_ds, p_qs, p_fl, p_tr):
         p.add_argument("--metrics", action="store_true",
                        help="print the metrics table after the run")
 
     args = parser.parse_args(argv)
-    # ``trace`` manages its own Obs bundle (spans + metrics); the other
-    # subcommands only need the registry when --metrics is requested.
-    if args.fn is cmd_trace:
+    # ``trace`` and ``fleet`` manage their own Obs bundle (spans +
+    # metrics); the other subcommands only need the registry when
+    # --metrics is requested.
+    if args.fn in (cmd_trace, cmd_fleet):
         return args.fn(args)
     obs = configure(trace=False) if args.metrics else None
     try:

@@ -50,6 +50,18 @@ class UsageRecord:
     def cost(self) -> float:
         return self.hours * self.hourly_rate
 
+    @property
+    def wasted_seconds(self) -> float:
+        """Paid-but-unused remainder of the last billed hour.
+
+        ``⌈P⌉`` billing charges to the next hour boundary; whatever running
+        time falls short of it was bought and thrown away.  An interval
+        ending exactly on a boundary wastes nothing — the §7 reuse argument
+        is precisely about reassigning work into this remainder instead of
+        terminating mid-hour.
+        """
+        return self.hours * 3600.0 - self.duration
+
 
 class BillingLedger:
     """Accumulates usage records; the experiments read instance-hours here.
@@ -79,6 +91,8 @@ class BillingLedger:
             obs.metrics.counter("cloud.billing.records").inc()
             obs.metrics.counter("cloud.billing.instance_hours").inc(rec.hours)
             obs.metrics.counter("cloud.billing.cost_usd").inc(rec.cost)
+            obs.metrics.counter("cloud.billing.wasted_seconds").inc(
+                rec.wasted_seconds)
         return rec
 
     @property
@@ -93,10 +107,16 @@ class BillingLedger:
     def total_instance_hours(self) -> int:
         return sum(r.hours for r in self._records)
 
+    @property
+    def total_wasted_seconds(self) -> float:
+        """Paid-hour remainders thrown away across every recorded interval."""
+        return sum(r.wasted_seconds for r in self._records)
+
     def summary(self) -> dict:
         """Counts, instance-hours and dollars in one dict."""
         return {
             "instances": len(self._records),
             "instance_hours": self.total_instance_hours,
             "cost_usd": round(self.total_cost, 4),
+            "wasted_seconds": round(self.total_wasted_seconds, 1),
         }

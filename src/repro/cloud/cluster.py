@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import math
+
 from repro.obs import Obs, get_obs
-from repro.cloud.billing import BillingLedger
+from repro.cloud.billing import BillingLedger, UsageRecord
 from repro.cloud.ebs import EbsError, EbsVolume, PlacementModel
 from repro.cloud.instance import HeterogeneityModel, Instance, InstanceError, InstanceState
 from repro.cloud.s3 import S3Store
@@ -123,16 +125,53 @@ class Cloud:
                 self.advance(instance.ready_at - self.now)
             instance.mark_running(self.now)
 
-    def terminate_instance(self, instance: Instance) -> None:
-        """Terminate and bill the RUNNING interval (ceil-hour pricing)."""
+    def terminate_instance(self, instance: Instance, *,
+                           at: float | None = None) -> "UsageRecord | None":
+        """Terminate and bill the RUNNING interval (ceil-hour pricing).
+
+        ``at`` is the lease-aware path: a fleet that stopped using an
+        instance at some earlier simulated time may retire it
+        retroactively at that time, so idle seconds past the last lease
+        are never billed.  ``at`` must not be in the future and not
+        precede the instance's RUNNING start.  Returns the
+        :class:`~repro.cloud.billing.UsageRecord` written (``None`` for an
+        instance that never reached RUNNING), so callers can read the
+        charge — including its ``wasted_seconds`` remainder — directly.
+        """
+        end = self.now if at is None else at
+        if end > self.now:
+            raise InstanceError("cannot terminate in the future")
         was_running = instance.billable_interval is not None
-        instance.terminate(self.now)
+        instance.terminate(end)
         if was_running:
             start, _ = instance.billable_interval  # type: ignore[misc]
-            self.ledger.record(
+            return self.ledger.record(
                 instance.instance_id, instance.itype.name,
-                start, self.now, instance.itype.hourly_rate,
+                start, end, instance.itype.hourly_rate,
             )
+        return None
+
+    def paid_through(self, instance: Instance, at: float | None = None) -> float:
+        """End of the hour already bought for ``instance`` as of ``at``.
+
+        Once RUNNING, the first ceil-hour is committed; thereafter the
+        boundary advances in whole hours.  This is what a warm pool keys
+        on: work finishing before ``paid_through`` rides for free.
+        """
+        if instance.running_since is None:
+            raise InstanceError(f"{instance.instance_id} never started running")
+        t = self.now if at is None else at
+        elapsed = t - instance.running_since
+        if elapsed < 0:
+            raise InstanceError("query precedes the RUNNING start")
+        hours = max(1, math.ceil(elapsed / 3600.0))
+        return instance.running_since + hours * 3600.0
+
+    def remaining_paid_seconds(self, instance: Instance,
+                               at: float | None = None) -> float:
+        """Seconds left in the currently-paid hour (0 on the boundary)."""
+        t = self.now if at is None else at
+        return self.paid_through(instance, t) - t
 
     def fail_instance(self, instance: Instance) -> None:
         """Crash a running instance at the current time and bill its usage.

@@ -83,10 +83,24 @@ class ProvisioningPlan:
     predictor_name: str
     assignments: list[list[Unit]]
     predicted_times: list[float] = field(default_factory=list)
+    #: Lease provenance per executed bin, filled in by a fleet scheduler:
+    #: ``bin index -> "warm:lease-000007" | "cold:lease-000001" |
+    #: "extension:lease-000009"``.  Empty for privately-booted runs.
+    lease_sources: dict[int, str] = field(default_factory=dict)
 
     @property
     def n_instances(self) -> int:
         return len(self.assignments)
+
+    def annotate_lease(self, bin_index: int, source: str, lease_id: str) -> None:
+        """Record which lease (and provenance) served ``bin_index``."""
+        self.lease_sources[bin_index] = f"{source}:{lease_id}"
+
+    @property
+    def reused_bins(self) -> int:
+        """Bins that rode an already-paid hour instead of booting."""
+        return sum(1 for v in self.lease_sources.values()
+                   if not v.startswith("cold"))
 
     @property
     def total_volume(self) -> int:

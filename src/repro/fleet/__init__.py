@@ -1,0 +1,68 @@
+"""``repro.fleet`` — a multi-tenant control plane over the simulated cloud.
+
+The paper's economics hinge on flat ceil-hour billing (``cost = r·⌈P⌉``,
+§1.1): terminating an instance mid-hour throws paid capacity away, and §7
+points at reassigning remaining work to "new **or existing** instances".
+This package makes the *existing* half real for concurrent campaigns:
+
+* :class:`~repro.fleet.lease.LeaseManager` — owns instance lifecycles,
+  hands out time-bounded :class:`~repro.fleet.lease.Lease`\\ s, and parks
+  released instances in a :class:`~repro.fleet.lease.WarmPool` keyed by
+  remaining paid-hour seconds (a
+  :class:`~repro.packing.index.FreeSpaceIndex` best-fit in O(log B)) —
+  a recycled lease skips the boot delay and its first ``⌈·⌉`` charge;
+* :class:`~repro.fleet.scheduler.FleetScheduler` — per-tenant weighted
+  fair-share queues with priorities and a bounded queue depth
+  (backpressure → explicit decisions, never silent drops);
+* :class:`~repro.fleet.tenants.TenantRegistry` +
+  :class:`~repro.fleet.tenants.AdmissionController` — per-tenant
+  concurrent-instance quotas and cost budgets enforced at submission;
+* :class:`~repro.fleet.report.FleetReport` — per-tenant cost attribution
+  that splits each billed hour across the campaigns that used it,
+  summing exactly to the fleet's ledger total.
+
+Quick sketch::
+
+    from repro.fleet import (AdmissionController, FleetRequest,
+                             FleetScheduler, LeaseManager, Tenant,
+                             TenantRegistry)
+
+    registry = TenantRegistry()
+    registry.register(Tenant("acme", max_concurrent_instances=4))
+    leases = LeaseManager(cloud, max_instances=8)
+    sched = FleetScheduler(cloud, leases, AdmissionController(registry))
+    decision = sched.submit(FleetRequest("acme", workload, plan, "nightly"))
+    report = sched.run()
+    print(report.per_tenant_cost())
+
+See ``examples/fleet_sharing.py`` and ``python -m repro.cli fleet``.
+"""
+
+from repro.fleet.lease import (
+    Lease,
+    LeaseError,
+    LeaseManager,
+    LeaseState,
+    UsageSlice,
+    WarmPool,
+)
+from repro.fleet.report import BinRun, CampaignOutcome, FleetReport
+from repro.fleet.scheduler import FleetRequest, FleetScheduler
+from repro.fleet.tenants import (
+    ADMITTED,
+    DEFERRED,
+    REJECTED,
+    AdmissionController,
+    AdmissionDecision,
+    Tenant,
+    TenantRegistry,
+)
+
+__all__ = [
+    "Lease", "LeaseError", "LeaseManager", "LeaseState", "UsageSlice",
+    "WarmPool",
+    "Tenant", "TenantRegistry", "AdmissionController", "AdmissionDecision",
+    "ADMITTED", "DEFERRED", "REJECTED",
+    "FleetRequest", "FleetScheduler",
+    "BinRun", "CampaignOutcome", "FleetReport",
+]

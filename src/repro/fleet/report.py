@@ -1,0 +1,201 @@
+"""Fleet outcome reporting and per-tenant cost attribution.
+
+Shared instances make "what did my campaign cost?" non-trivial: one
+billed hour may have served three campaigns from two tenants, plus an
+idle remainder.  :class:`FleetReport` splits every instance's ceil-hour
+charge across the usage slices that actually occupied it, proportionally
+to busy seconds (idle/wasted seconds are spread the same way — somebody
+bought them), with the float residual folded into the largest share so
+the attribution sums *exactly* to the ledger total.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.cloud.billing import UsageRecord
+from repro.fleet.lease import UsageSlice
+from repro.fleet.tenants import AdmissionDecision
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fleet.scheduler import FleetRequest
+
+__all__ = ["BinRun", "CampaignOutcome", "FleetReport"]
+
+
+@dataclass(frozen=True)
+class BinRun:
+    """One campaign bin executed on one lease."""
+
+    campaign: str
+    tenant: str
+    bin_index: int
+    lease_id: str
+    instance_id: str
+    source: str                # warm | cold | extension
+    start: float               # work start (post-boot / post-wait)
+    end: float
+    wait_seconds: float        # submission → work start
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class CampaignOutcome:
+    """Everything one enqueued campaign experienced."""
+
+    request: "FleetRequest"
+    decision: AdmissionDecision
+    runs: list[BinRun] = field(default_factory=list)
+    finished_at: float = 0.0
+
+    @property
+    def deadline(self) -> float:
+        return self.request.plan.deadline
+
+    @property
+    def elapsed(self) -> float:
+        """Submission to last bin completion."""
+        return self.finished_at - (self.request.submitted_at or 0.0)
+
+    @property
+    def n_missed(self) -> int:
+        """Bins finishing past the campaign deadline (measured from submit)."""
+        submit = self.request.submitted_at or 0.0
+        return sum(1 for r in self.runs if r.end - submit > self.deadline)
+
+    @property
+    def met_deadline(self) -> bool:
+        return self.n_missed == 0
+
+    @property
+    def warm_runs(self) -> int:
+        return sum(1 for r in self.runs if r.source != "cold")
+
+
+@dataclass
+class FleetReport:
+    """Fleet-wide outcome: campaigns, billing, reuse, attribution."""
+
+    outcomes: list[CampaignOutcome]
+    rejected: list[tuple["FleetRequest", AdmissionDecision]]
+    records: list[UsageRecord]
+    slices: list[UsageSlice]
+    lease_stats: dict = field(default_factory=dict)
+
+    # -- billing -----------------------------------------------------------
+
+    @property
+    def total_cost(self) -> float:
+        return sum(r.cost for r in self.records)
+
+    @property
+    def total_billed_hours(self) -> int:
+        return sum(r.hours for r in self.records)
+
+    @property
+    def total_wasted_seconds(self) -> float:
+        return sum(r.wasted_seconds for r in self.records)
+
+    def _attribute(self, key) -> dict:
+        """Split every record's cost over its slices by ``key(slice)``.
+
+        Shares are proportional to busy seconds, then snapped to the grid
+        of ``ulp(total_cost)`` with the integer remainder folded into the
+        largest share.  Every returned value is a multiple of that grain
+        and partial sums stay below ``2^53`` grains, so float addition is
+        *exact* in any order: ``sum(values()) == total_cost``, not ≈.
+        """
+        by_instance: dict[str, list[UsageSlice]] = {}
+        for s in self.slices:
+            by_instance.setdefault(s.instance_id, []).append(s)
+        out: dict = {}
+        for rec in self.records:
+            slices = by_instance.get(rec.instance_id, [])
+            busy = sum(s.seconds for s in slices)
+            if not slices or busy <= 0:
+                out["(unattributed)"] = out.get("(unattributed)", 0.0) + rec.cost
+                continue
+            for s in slices:
+                k = key(s)
+                out[k] = out.get(k, 0.0) + rec.cost * (s.seconds / busy)
+        if not out:
+            return out
+        total = self.total_cost
+        if total == 0.0:
+            return {k: 0.0 for k in out}
+        grain = math.ulp(total)
+        largest = max(out, key=lambda k: out[k])
+        exact: dict = {}
+        acc = 0
+        for k, v in out.items():
+            if k == largest:
+                continue
+            q = round(v / grain)
+            exact[k] = q * grain
+            acc += q
+        exact[largest] = (round(total / grain) - acc) * grain
+        return exact
+
+    def per_tenant_cost(self) -> dict[str, float]:
+        """USD each tenant owes; sums exactly to :attr:`total_cost`."""
+        return self._attribute(lambda s: s.tenant)
+
+    def per_campaign_cost(self) -> dict[tuple[str, str], float]:
+        """USD per (tenant, campaign); same exact-sum guarantee."""
+        return self._attribute(lambda s: (s.tenant, s.campaign or ""))
+
+    # -- service quality ---------------------------------------------------
+
+    @property
+    def n_bins(self) -> int:
+        return sum(len(o.runs) for o in self.outcomes)
+
+    @property
+    def n_missed(self) -> int:
+        return sum(o.n_missed for o in self.outcomes)
+
+    @property
+    def miss_rate(self) -> float:
+        return self.n_missed / self.n_bins if self.n_bins else 0.0
+
+    @property
+    def warm_hit_rate(self) -> float:
+        return self.lease_stats.get("hit_rate", 0.0)
+
+    def summary(self) -> dict:
+        """Headline fleet facts in one flat dict."""
+        kinds = {"admitted": 0, "deferred": 0, "rejected": 0}
+        for o in self.outcomes:
+            kinds[o.decision.kind] += 1
+        kinds["rejected"] = len(self.rejected)
+        return {
+            "campaigns": len(self.outcomes),
+            **kinds,
+            "bins": self.n_bins,
+            "missed": self.n_missed,
+            "instances": len(self.records),
+            "instance_hours": self.total_billed_hours,
+            "cost_usd": round(self.total_cost, 4),
+            "wasted_seconds": round(self.total_wasted_seconds, 1),
+            "warm_hit_rate": round(self.warm_hit_rate, 4),
+        }
+
+    def render_attribution(self) -> str:
+        """ASCII per-tenant bill, matching the report module's table style."""
+        per_tenant = self.per_tenant_cost()
+        busy: dict[str, float] = {}
+        for s in self.slices:
+            busy[s.tenant] = busy.get(s.tenant, 0.0) + s.seconds
+        width = max([len("tenant")] + [len(t) for t in per_tenant])
+        lines = [f"{'tenant':>{width}}  {'busy_s':>9}  {'cost_usd':>9}"]
+        for tenant in sorted(per_tenant):
+            lines.append(f"{tenant:>{width}}  {busy.get(tenant, 0.0):>9.1f}  "
+                         f"{per_tenant[tenant]:>9.4f}")
+        lines.append(f"{'total':>{width}}  {sum(busy.values()):>9.1f}  "
+                     f"{self.total_cost:>9.4f}")
+        return "\n".join(lines)

@@ -1,0 +1,165 @@
+"""Tenants, quotas, budgets, and admission decisions.
+
+The ROADMAP's "heavy traffic from millions of users" scenario needs the
+control plane to say *no* out loud: every submission gets an explicit
+:class:`AdmissionDecision` — ``admitted``, ``deferred`` (accepted but
+queued behind a saturated quota), or ``rejected`` (budget exhausted,
+backpressure, unknown tenant) — never a silent drop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fleet.scheduler import FleetRequest
+
+__all__ = ["Tenant", "TenantRegistry", "AdmissionDecision",
+           "AdmissionController", "ADMITTED", "DEFERRED", "REJECTED"]
+
+ADMITTED = "admitted"
+DEFERRED = "deferred"
+REJECTED = "rejected"
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One paying customer of the shared fleet.
+
+    ``weight`` scales the fair share (2.0 = twice the service of a
+    weight-1 tenant under contention); ``max_concurrent_instances`` caps
+    simultaneously leased instances; ``budget_usd`` is a hard cost ceiling
+    checked against committed estimates at admission (``None`` = no cap).
+    """
+
+    name: str
+    weight: float = 1.0
+    max_concurrent_instances: int = 4
+    budget_usd: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant needs a name")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+        if self.max_concurrent_instances < 1:
+            raise ValueError("quota must allow at least one instance")
+        if self.budget_usd is not None and self.budget_usd < 0:
+            raise ValueError("budget must be non-negative")
+
+
+class TenantRegistry:
+    """Known tenants plus their committed spend."""
+
+    def __init__(self) -> None:
+        self._tenants: dict[str, Tenant] = {}
+        self._committed: dict[str, float] = {}
+
+    def register(self, tenant: Tenant) -> Tenant:
+        """Add a tenant (names are unique); returns it for chaining."""
+        if tenant.name in self._tenants:
+            raise ValueError(f"tenant {tenant.name!r} already registered")
+        self._tenants[tenant.name] = tenant
+        self._committed[tenant.name] = 0.0
+        return tenant
+
+    def get(self, name: str) -> Tenant | None:
+        """The tenant registered under ``name``, or ``None``."""
+        return self._tenants.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tenants
+
+    def __iter__(self):
+        return iter(self._tenants.values())
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def committed_usd(self, name: str) -> float:
+        """Estimated spend admitted so far (admission-time accounting)."""
+        return self._committed.get(name, 0.0)
+
+    def commit(self, name: str, usd: float) -> None:
+        """Reserve ``usd`` of estimated spend against the tenant's budget."""
+        self._committed[name] = self._committed.get(name, 0.0) + usd
+
+    def remaining_budget(self, name: str) -> float | None:
+        """Budget minus committed spend; ``None`` when the tenant has no cap."""
+        t = self._tenants[name]
+        if t.budget_usd is None:
+            return None
+        return t.budget_usd - self.committed_usd(name)
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The explicit outcome of one submission."""
+
+    kind: str                  # ADMITTED | DEFERRED | REJECTED
+    reason: str
+    est_cost_usd: float = 0.0
+
+    @property
+    def admitted(self) -> bool:
+        return self.kind == ADMITTED
+
+    @property
+    def deferred(self) -> bool:
+        return self.kind == DEFERRED
+
+    @property
+    def rejected(self) -> bool:
+        return self.kind == REJECTED
+
+    @property
+    def enqueued(self) -> bool:
+        """Admitted and deferred campaigns enter the queue; rejected don't."""
+        return self.kind != REJECTED
+
+
+@dataclass
+class AdmissionController:
+    """Quota/budget/backpressure gate in front of the scheduler queue.
+
+    ``max_queue_depth`` bounds the total number of queued campaigns — the
+    scheduler's backpressure valve: beyond it submissions are *rejected*
+    (bounded queue, explicit signal), not buffered without limit.
+    """
+
+    registry: TenantRegistry
+    max_queue_depth: int = 64
+    rate: float = 0.085
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ValueError("queue depth bound must be at least 1")
+
+    def review(self, request: "FleetRequest", *, queue_depth: int,
+               tenant_active_campaigns: int = 0) -> AdmissionDecision:
+        """Decide one submission given current queue/tenant state."""
+        tenant = self.registry.get(request.tenant)
+        if tenant is None:
+            return AdmissionDecision(REJECTED, f"unknown tenant {request.tenant!r}")
+        est = request.plan.predicted_cost(self.rate)
+        remaining = self.registry.remaining_budget(request.tenant)
+        if remaining is not None and est > remaining:
+            return AdmissionDecision(
+                REJECTED,
+                f"budget: est ${est:.3f} exceeds remaining ${remaining:.3f}",
+                est_cost_usd=est)
+        if queue_depth >= self.max_queue_depth:
+            return AdmissionDecision(
+                REJECTED,
+                f"backpressure: queue depth {queue_depth} at bound "
+                f"{self.max_queue_depth}", est_cost_usd=est)
+        self.registry.commit(request.tenant, est)
+        if (request.plan.n_instances > tenant.max_concurrent_instances
+                or tenant_active_campaigns > 0):
+            return AdmissionDecision(
+                DEFERRED,
+                f"quota: {request.plan.n_instances} bin(s) vs concurrency "
+                f"cap {tenant.max_concurrent_instances}; will run throttled",
+                est_cost_usd=est)
+        return AdmissionDecision(ADMITTED, "ok", est_cost_usd=est)

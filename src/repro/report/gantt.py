@@ -66,19 +66,25 @@ def trace_rows(
     source: Union[Tracer, Iterable[SpanRecord]],
     *,
     category: str | None = None,
+    group_by: str | None = None,
 ) -> dict[str, list[SpanRecord]]:
     """Group recorded spans by track, preserving first-appearance order.
 
     ``source`` is a :class:`Tracer` or any iterable of
     :class:`SpanRecord`; ``category`` keeps only spans whose ``cat``
-    matches (``None`` keeps everything).
+    matches (``None`` keeps everything).  With ``group_by``, rows are
+    keyed by that span *argument* instead of the track — e.g.
+    ``group_by="tenant"`` collapses a multi-tenant fleet trace into one
+    row per tenant; spans lacking the argument land on ``"(other)"``.
     """
     spans = source.spans if isinstance(source, Tracer) else list(source)
     rows: dict[str, list[SpanRecord]] = {}
     for s in spans:
         if category is not None and s.cat != category:
             continue
-        rows.setdefault(s.track, []).append(s)
+        key = s.track if group_by is None else str(s.args.get(group_by,
+                                                              "(other)"))
+        rows.setdefault(key, []).append(s)
     return rows
 
 
@@ -88,6 +94,7 @@ def render_trace_gantt(
     width: int = 64,
     category: str | None = None,
     deadline: float | None = None,
+    group_by: str | None = None,
 ) -> str:
     """Render recorded trace spans as a per-track Gantt chart.
 
@@ -96,10 +103,12 @@ def render_trace_gantt(
     Zero-duration spans (packing on simulated time) render as a single
     ``.``.  ``deadline`` draws the same ``|`` marker as
     :func:`render_gantt`, measured from the earliest span start.
+    ``group_by`` re-keys rows by a span argument (see :func:`trace_rows`)
+    — ``group_by="tenant"`` gives a shared fleet one row per tenant.
     """
     if width < 20:
         raise ValueError("width must be at least 20 columns")
-    rows = trace_rows(source, category=category)
+    rows = trace_rows(source, category=category, group_by=group_by)
     if not rows:
         return "(no spans recorded)"
     t_lo = min(s.t0 for spans in rows.values() for s in spans)

@@ -17,12 +17,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.cloud.cluster import Cloud
 from repro.cloud.service import ExecutionService, Workload
 from repro.core.planner import ProvisioningPlan
 from repro.runner.execute import ExecutionReport, InstanceRun
 from repro.units import HOUR
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fleet.lease import LeaseManager
 
 __all__ = ["DynamicPolicy", "execute_with_monitoring"]
 
@@ -42,6 +46,10 @@ class DynamicPolicy:
     slow_threshold: float = 0.7
     replacement_penalty: float = 180.0
     max_replacements_per_bin: int = 1
+    #: EBS re-attach seconds when the replacement comes from a warm-pool
+    #: lease: the instance is already booted, so only the volume move is
+    #: paid (vs ``replacement_penalty`` ≈ boot + attach for a fresh one).
+    attach_penalty: float = 30.0
     #: Fixed per-run overhead (process/JVM start) netted out of the probe
     #: chunk before computing throughput — a tiny chunk would otherwise
     #: look slow on every instance.
@@ -61,6 +69,8 @@ class DynamicPolicy:
             raise ValueError("replacement penalty must be non-negative")
         if self.setup_allowance < 0:
             raise ValueError("setup allowance must be non-negative")
+        if self.attach_penalty < 0:
+            raise ValueError("attach penalty must be non-negative")
         if self.replace_at not in ("immediately", "hour-boundary"):
             raise ValueError("replace_at must be 'immediately' or 'hour-boundary'")
 
@@ -94,6 +104,7 @@ def execute_with_monitoring(
     *,
     policy: DynamicPolicy | None = None,
     service: ExecutionService | None = None,
+    lease_manager: "LeaseManager | None" = None,
 ) -> tuple[ExecutionReport, list[ReplacementEvent]]:
     """Execute a plan with straggler replacement.
 
@@ -102,6 +113,14 @@ def execute_with_monitoring(
     moves to a fresh instance (EBS re-attach penalty applies, no data
     copy).  Billing covers every instance that ran, including retired
     stragglers (their partial hour is still a full billed hour).
+
+    With a ``lease_manager``, replacements draw from the fleet instead of
+    booting privately: a warm-pool lease is already running inside a paid
+    hour, so only ``policy.attach_penalty`` is paid and no new boot or
+    ``⌈·⌉`` charge is incurred; on a pool miss the manager cold-boots and
+    the usual boot + attach penalty applies.  Leased replacements are
+    billed by the manager at retirement (call its ``shutdown()``), not by
+    this runner.
     """
     policy = policy or DynamicPolicy()
     svc = service or ExecutionService(cloud)
@@ -143,6 +162,7 @@ def execute_with_monitoring(
 
         duration = t_probe
         active = inst
+        active_lease = None   # set when the replacement is a fleet lease
         active_since = 0.0  # elapsed time at which `active` started working
         replacements = 0
         if (
@@ -173,8 +193,23 @@ def execute_with_monitoring(
             cloud.ledger.record(active.instance_id, active.itype.name,
                                 work_start, work_start + duration,
                                 active.itype.hourly_rate)
-            replacement = cloud.launch_instance(wait=False)
-            replacement.mark_running(max(cloud.now, replacement.ready_at))
+            lease = None
+            if lease_manager is not None:
+                rest_volume = sum(u.size for u in rest)
+                est_rest = (predicted * (rest_volume / volume)
+                            if volume else t_probe)
+                lease = lease_manager.acquire(
+                    "dynamic", est_seconds=est_rest,
+                    at=work_start + duration, campaign=f"bin-{idx}")
+                replacement = lease.instance
+                # Warm lease: already booted inside a paid hour — only
+                # the EBS move is paid.  Cold: the drawn boot plus attach.
+                penalty = ((lease.ready_at - (work_start + duration))
+                           + policy.attach_penalty)
+            else:
+                replacement = cloud.launch_instance(wait=False)
+                replacement.mark_running(max(cloud.now, replacement.ready_at))
+                penalty = policy.replacement_penalty
             events.append(ReplacementEvent(
                 bin_index=idx,
                 old_instance=active.instance_id,
@@ -187,16 +222,20 @@ def execute_with_monitoring(
                 obs.tracer.instant("runner.straggler.replaced", cat="runner",
                                    track=active.instance_id, bin=idx,
                                    replacement=replacement.instance_id,
+                                   source=lease.source if lease else "boot",
                                    observed_ratio=round(ratio, 4))
                 obs.tracer.add_span(
                     "runner.replacement.penalty", work_start + duration,
-                    work_start + duration + policy.replacement_penalty,
+                    work_start + duration + penalty,
                     cat="runner", track=replacement.instance_id, bin=idx)
                 obs.metrics.counter("runner.replacements",
-                                    mode=policy.replace_at).inc()
+                                    mode=policy.replace_at,
+                                    source=lease.source if lease else "boot",
+                                    ).inc()
             active.terminate(max(cloud.now, work_start + duration))
-            duration += policy.replacement_penalty
+            duration += penalty
             active = replacement
+            active_lease = lease
             active_since = duration
             replacements += 1
 
@@ -219,15 +258,23 @@ def execute_with_monitoring(
             predicted=predicted,
         ))
         # Bill the currently-active instance only for the span it worked
-        # (the retired straggler's span was billed at retirement).
-        cloud.ledger.record(active.instance_id, active.itype.name,
-                            work_start + active_since, work_start + duration,
-                            active.itype.hourly_rate)
+        # (the retired straggler's span was billed at retirement).  A
+        # leased replacement instead returns to the warm pool: its bill is
+        # settled when the lease manager retires it.
+        if active_lease is not None:
+            lease_manager.release(active_lease, work_start + duration)
+        else:
+            cloud.ledger.record(active.instance_id, active.itype.name,
+                                work_start + active_since,
+                                work_start + duration,
+                                active.itype.hourly_rate)
 
     report.runs = runs
     if runs:
         cloud.advance(max(r.duration for r in runs))
     for inst in cloud.running_instances():
+        if lease_manager is not None and lease_manager.owns(inst.instance_id):
+            continue
         inst.terminate(cloud.now)
     if obs.enabled:
         obs.metrics.gauge("runner.deadline.margin", strategy=report.strategy

@@ -1,0 +1,100 @@
+"""Execute a provisioning plan on a shared fleet instead of private boots.
+
+``execute_on_fleet`` is the drop-in counterpart of
+:func:`~repro.runner.execute.execute_plan` for callers that hold a
+:class:`~repro.fleet.lease.LeaseManager`: every bin draws a lease — a
+warm-pool hit starts on an already-paid hour with no boot delay — and
+releases it when done, so consecutive campaigns (static, dynamic, or
+fault-tolerant alike) recycle each other's remainders.
+
+Billing truth differs from the private-boot runner: leased instances are
+only billed when the manager retires them, so read campaign costs from
+the fleet's :class:`~repro.fleet.report.FleetReport` /
+:class:`~repro.cloud.billing.BillingLedger`, not from the returned
+report's per-run ceil estimate.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.cluster import Cloud
+from repro.cloud.service import ExecutionService, Workload
+from repro.core.planner import ProvisioningPlan
+from repro.fleet.lease import LeaseManager
+from repro.runner.execute import ExecutionReport, InstanceRun
+
+__all__ = ["execute_on_fleet"]
+
+
+def execute_on_fleet(
+    leases: LeaseManager,
+    workload: Workload,
+    plan: ProvisioningPlan,
+    *,
+    tenant: str = "default",
+    campaign: str | None = None,
+    service: ExecutionService | None = None,
+) -> ExecutionReport:
+    """Run every occupied bin of ``plan`` on a leased fleet instance.
+
+    Bins execute in parallel from the current simulated time; each
+    acquires its own lease (best-fit warm remainder first, cold boot
+    otherwise), and the plan is annotated with every bin's lease source.
+    The returned report's ``boot_delay`` per run is the full
+    submission-to-work latency — zero-ish for warm leases, the boot delay
+    for cold ones — so ``missed(deadline, include_boot=True)`` reflects
+    what the fleet's user actually waited.  The lease manager keeps the
+    instances (pooled) afterwards; call its ``shutdown()`` to settle the
+    bill.
+    """
+    cloud: Cloud = leases.cloud
+    svc = service or ExecutionService(cloud)
+    obs = cloud.obs
+    label = campaign or f"{plan.strategy}-campaign"
+    report = ExecutionReport(deadline=plan.deadline,
+                             strategy=f"{plan.strategy}+fleet")
+    t0 = cloud.now
+    runs: list[InstanceRun] = []
+    ends: list[float] = []
+    for idx, units in enumerate(plan.assignments):
+        if not units:
+            continue
+        predicted = (plan.predicted_times[idx]
+                     if idx < len(plan.predicted_times) else 0.0)
+        lease = leases.acquire(tenant, est_seconds=predicted, at=t0,
+                               campaign=label)
+        duration = svc.run(lease.instance, units, workload,
+                           advance_clock=False)
+        end = lease.ready_at + duration
+        leases.release(lease, end)
+        plan.annotate_lease(idx, lease.source, lease.lease_id)
+        report.rate = lease.instance.itype.hourly_rate
+        runs.append(InstanceRun(
+            instance_id=lease.instance.instance_id,
+            n_units=len(units),
+            volume=sum(u.size for u in units),
+            boot_delay=lease.ready_at - t0,
+            duration=duration,
+            predicted=predicted,
+        ))
+        ends.append(end)
+        if obs.enabled:
+            obs.tracer.add_span("runner.task.run", lease.ready_at, end,
+                                cat="runner", track=lease.instance.instance_id,
+                                bin=idx, n_units=len(units),
+                                predicted=predicted, tenant=tenant,
+                                source=lease.source,
+                                strategy=report.strategy)
+            obs.metrics.counter("runner.tasks.completed",
+                                strategy=report.strategy).inc()
+    report.runs = runs
+    if ends:
+        horizon = max(ends)
+        if horizon > cloud.now:
+            cloud.advance(horizon - cloud.now)
+    if obs.enabled:
+        obs.metrics.gauge("runner.deadline.margin", strategy=report.strategy
+                          ).set(report.deadline - report.makespan)
+        if report.n_missed:
+            obs.metrics.counter("runner.deadline.misses",
+                                strategy=report.strategy).inc(report.n_missed)
+    return report

@@ -40,6 +40,13 @@ class TestFastExamples:
         out = run_example("dynamic_rescheduling.py", capsys)
         assert "straggler(s) replaced" in out
 
+    def test_fleet_sharing(self, capsys):
+        out = run_example("fleet_sharing.py", capsys)
+        assert "rejected (unknown tenant 'hooli')" in out
+        assert "rejected (budget" in out
+        assert "warm-pool hit rate" in out
+        assert "per-tenant bill" in out
+
 
 class TestExampleFilesExist:
     @pytest.mark.parametrize("name", [
@@ -50,6 +57,7 @@ class TestExampleFilesExist:
         "fault_tolerance.py",
         "text_workflow.py",
         "spot_market.py",
+        "fleet_sharing.py",
     ])
     def test_listed_example_exists_and_has_main(self, name):
         path = EXAMPLES / name

@@ -7,7 +7,7 @@ these tests only pin the structural contract of each experiment function
 
 import pytest
 
-from repro.experiments import exp_fig1, exp_fig2, exp_grep, exp_pos, exp_side
+from repro.experiments import exp_fig1, exp_fig2, exp_fleet, exp_grep, exp_pos, exp_side
 from repro.report.figures import FigureResult
 
 
@@ -87,6 +87,23 @@ class TestPosSmoke:
         fig, out = exp_pos.novels()
         assert out["word_gap"] < 300
         assert out["ratio"] > 1.0
+
+
+class TestFleetSmoke:
+    def test_shared_vs_isolated_structure(self):
+        fig, out = exp_fleet.shared_vs_isolated(n_campaigns=4, max_instances=4)
+        assert isinstance(fig, FigureResult) and fig.fig_id == "FleetShare"
+        assert out["shared_cost_usd"] < out["isolated_cost_usd"]
+        assert out["warm_hit_rate"] > 0
+        assert out["shared_miss_rate"] <= out["isolated_miss_rate"]
+        assert out["admission"]["rejected"] == 0
+        assert sum(out["per_tenant_cost"].values()) == pytest.approx(
+            out["shared_cost_usd"], abs=0.0)
+
+    def test_run_shared_fleet_deterministic(self):
+        _, r1 = exp_fleet.run_shared_fleet(n_campaigns=4, max_instances=4)
+        _, r2 = exp_fleet.run_shared_fleet(n_campaigns=4, max_instances=4)
+        assert r1.summary() == r2.summary()
 
 
 class TestSideSmoke:

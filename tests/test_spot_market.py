@@ -1,0 +1,91 @@
+"""Targeted tests for ``cloud/spot.py``: the §1.1 spot-market extension.
+
+`tests/test_cloud_service.py` covers the happy paths; here the contract
+edges are pinned: price caching is idempotent per seed, the price floor
+actually clamps (not just "prices happen to stay above it"), and a bid
+the market never meets buys nothing — zero cost, zero progress, and an
+honest ``done=False``.
+"""
+
+import pytest
+
+from repro.cloud.spot import SpotMarket, SpotRequest
+from repro.sim.random import RngStream
+
+
+class TestSeedDeterminism:
+    def test_same_seed_same_trajectory(self):
+        a = SpotMarket(rng=RngStream(31))
+        b = SpotMarket(rng=RngStream(31))
+        assert a.prices(100) == b.prices(100)
+
+    def test_different_seeds_diverge(self):
+        a = SpotMarket(rng=RngStream(31))
+        b = SpotMarket(rng=RngStream(32))
+        assert a.prices(100) != b.prices(100)
+
+    def test_queries_are_idempotent(self):
+        """Re-reading an hour must not consume RNG state (prices cached)."""
+        m = SpotMarket(rng=RngStream(31))
+        first = m.price(10)
+        trajectory = m.prices(50)
+        assert m.price(10) == first
+        # interleaved / repeated queries leave the trajectory untouched
+        assert m.prices(50) == trajectory
+
+    def test_out_of_order_queries_match_in_order(self):
+        a = SpotMarket(rng=RngStream(7))
+        b = SpotMarket(rng=RngStream(7))
+        backwards = [a.price(h) for h in (40, 5, 23, 0)]
+        b.prices(41)
+        assert backwards == [b.price(h) for h in (40, 5, 23, 0)]
+
+
+class TestFloorClamping:
+    def test_floor_clamps_downward_drift(self):
+        """With the mean below the floor, reversion drags every price into
+        the clamp — each hour must sit exactly at the floor, never below."""
+        m = SpotMarket(rng=RngStream(5), mean_price=0.001, floor=0.05,
+                       volatility=0.0, start_price=0.05)
+        assert m.prices(20) == [0.05] * 20
+
+    def test_floor_binds_under_volatility(self):
+        m = SpotMarket(rng=RngStream(5), mean_price=0.012, floor=0.01,
+                       volatility=0.02)
+        prices = m.prices(300)
+        assert all(p >= m.floor for p in prices)
+        # shocks 2x the mean-to-floor gap must hit the clamp sometimes
+        assert any(p == m.floor for p in prices)
+
+    def test_unclamped_process_can_go_lower(self):
+        """Same seed, floor removed: the raw process dips below 0.01 —
+        proving the clamp in the sibling test is the floor, not luck."""
+        m = SpotMarket(rng=RngStream(5), mean_price=0.012, floor=0.0,
+                       volatility=0.02)
+        assert min(m.prices(300)) < 0.01
+
+
+class TestBidNeverMet:
+    def test_never_active(self):
+        m = SpotMarket(rng=RngStream(11))
+        req = SpotRequest(bid=m.floor / 2)   # below the floor: unreachable
+        assert req.active_hours(m, 500) == []
+
+    def test_progress_is_zero_and_unfinished(self):
+        m = SpotMarket(rng=RngStream(11))
+        out = SpotRequest(bid=m.floor / 2).simulate_progress(
+            m, horizon_hours=500, work_hours=3.0)
+        assert out == {"completed_hour": None, "paid_hours": 0,
+                       "cost": 0.0, "done": False}
+
+    def test_zero_work_is_done_even_without_capacity(self):
+        m = SpotMarket(rng=RngStream(11))
+        out = SpotRequest(bid=m.floor / 2).simulate_progress(
+            m, horizon_hours=10, work_hours=0.0)
+        assert out["done"] and out["cost"] == 0.0
+
+    def test_negative_work_rejected(self):
+        m = SpotMarket(rng=RngStream(11))
+        with pytest.raises(ValueError):
+            SpotRequest(bid=1.0).simulate_progress(
+                m, horizon_hours=10, work_hours=-1.0)
