@@ -123,6 +123,45 @@ def collect_fleet_stats() -> dict:
     }
 
 
+def collect_chaos_stats() -> dict:
+    """Chaos-sweep facts for the entry: miss rates with and without policy.
+
+    Runs the full scenario x policy sweep (every shipped fault scenario,
+    resilience on and off, the default seed set) and records per-scenario
+    miss rates plus the two acceptance verdicts the resilience layer is
+    held to: policy-on stays at or under a 10 % miss rate under *every*
+    scenario, and policy-off exceeds 25 % under at least one.  A change
+    that erodes a defence (retry, steering, hedging, degradation) flips
+    a verdict or moves a miss rate in the trajectory.
+    """
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.experiments.exp_chaos import DEFAULT_SEEDS, chaos_sweep
+
+    _, stats = chaos_sweep()
+    scenarios = {
+        name: {
+            "on_miss_rate": cell["on"]["miss_rate"],
+            "off_miss_rate": cell["off"]["miss_rate"],
+            "on_mean_cost_usd": cell["on"]["mean_cost_usd"],
+            "off_mean_cost_usd": cell["off"]["mean_cost_usd"],
+        }
+        for name, cell in sorted(stats.items())
+    }
+    return {
+        "workload": f"{len(stats)} fault scenarios x (resilience on/off) "
+                    f"x seeds {list(DEFAULT_SEEDS)}",
+        "scenarios": scenarios,
+        "on_worst_miss_rate": max(
+            s["on_miss_rate"] for s in scenarios.values()),
+        "off_worst_miss_rate": max(
+            s["off_miss_rate"] for s in scenarios.values()),
+        "acceptance_on_le_10pct_everywhere": all(
+            s["on_miss_rate"] <= 0.10 for s in scenarios.values()),
+        "acceptance_off_gt_25pct_somewhere": any(
+            s["off_miss_rate"] > 0.25 for s in scenarios.values()),
+    }
+
+
 def distil(raw: dict) -> dict[str, dict[str, float]]:
     """Reduce a pytest-benchmark dump to ``kernel -> median/ops``."""
     kernels: dict[str, dict[str, float]] = {}
@@ -173,6 +212,7 @@ def main() -> None:
         "kernels": distil(raw),
         "obs": collect_obs_stats(),
         "fleet": collect_fleet_stats(),
+        "chaos": collect_chaos_stats(),
     }
 
     trajectory = load_trajectory()

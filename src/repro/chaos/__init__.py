@@ -1,0 +1,47 @@
+"""``repro.chaos`` — seeded, simulated-time fault injection.
+
+The paper's provisioning promise is probabilistic — the adjusted deadline
+``D/(1+a)`` targets a ≤10 % miss rate (§5.2) — but a promise made against
+a cloud that only ever crashes instances has not really been tested.
+Real EC2 campaigns also hit launch rejections
+(``InsufficientInstanceCapacity``), instances stuck in PENDING, whole
+availability-zone outages, and degraded EBS/S3 data paths.  This package
+expresses those fault classes as declarative, composable
+:class:`FaultScenario` values and injects them into a
+:class:`~repro.cloud.cluster.Cloud` through a :class:`FaultInjector`.
+
+Design rules:
+
+* **deterministic** — every injected fault descends from the injector's
+  :class:`~repro.sim.random.RngStream`; the same seed and the same
+  scenario stack replay the identical fault sequence (no wall clock, no
+  global RNG);
+* **declarative & composable** — a scenario is frozen data; experiments
+  stack several (`capacity-crunch` + `slow-ebs`) per run;
+* **near-zero cost when off** — a cloud without an injector pays one
+  ``is None`` check per launch/advance; nothing else changes.
+
+The policy layer that *absorbs* these faults lives in
+:mod:`repro.resilience`.
+"""
+
+from repro.chaos.injector import ChaosError, FaultInjector, InjectedFault, LaunchRejected
+from repro.chaos.scenario import (
+    SCENARIOS,
+    AzOutage,
+    Degradation,
+    FaultScenario,
+    get_scenario,
+)
+
+__all__ = [
+    "AzOutage",
+    "ChaosError",
+    "Degradation",
+    "FaultInjector",
+    "FaultScenario",
+    "InjectedFault",
+    "LaunchRejected",
+    "SCENARIOS",
+    "get_scenario",
+]

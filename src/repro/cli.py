@@ -6,6 +6,8 @@ Usage::
     python -m repro.cli figures --all
     python -m repro.cli datasets                   # Fig. 1 summaries
     python -m repro.cli quickstart                 # the end-to-end demo
+    python -m repro.cli chaos --scenario az-blackout --policy both
+                                                   # fault-injection sweep
     python -m repro.cli trace quickstart --out trace.json
                                                    # traced demo run
 
@@ -197,6 +199,37 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """``chaos`` subcommand: fault-scenario sweep, resilience on/off."""
+    from repro.chaos import SCENARIOS
+    from repro.experiments.exp_chaos import DEFAULT_SEEDS, chaos_sweep
+
+    names = list(SCENARIOS) if (args.all or not args.scenarios) else args.scenarios
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        _log.error("unknown scenario(s): %s; shipped: %s",
+                   ", ".join(unknown), ", ".join(sorted(SCENARIOS)))
+        return 2
+    if args.seeds < 1:
+        _log.error("--seeds must be at least 1")
+        return 2
+    policies = {"on": (True,), "off": (False,),
+                "both": (True, False)}[args.policy]
+    seeds = tuple(DEFAULT_SEEDS[i % len(DEFAULT_SEEDS)] + 100 * (i // len(DEFAULT_SEEDS))
+                  for i in range(args.seeds))
+    fig, stats = chaos_sweep(names, seeds=seeds, policies=policies)
+    print(render_ascii(fig))
+    print()
+    for name in names:
+        row = stats[name]
+        cells = " ".join(
+            f"{p}: miss {row[p]['miss_rate']:.3f} "
+            f"(${row[p]['mean_cost_usd']:.3f})"
+            for p in ("on", "off") if p in row)
+        print(f"{name:>16}  {cells}")
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """``trace`` subcommand: run a demo with observability on, export it."""
     if args.demo not in DEMOS:
@@ -256,6 +289,20 @@ def main(argv: list[str] | None = None) -> int:
                            "shared-vs-isolated figure")
     p_fl.set_defaults(fn=cmd_fleet)
 
+    p_ch = sub.add_parser(
+        "chaos", help="sweep fault scenarios with resilience on/off")
+    p_ch.add_argument("--scenario", dest="scenarios", nargs="*", default=[],
+                      metavar="NAME",
+                      help="scenario names (default: all shipped scenarios)")
+    p_ch.add_argument("--all", action="store_true",
+                      help="sweep every shipped scenario")
+    p_ch.add_argument("--policy", choices=("on", "off", "both"),
+                      default="both",
+                      help="resilience policy side(s) to run (default: both)")
+    p_ch.add_argument("--seeds", type=int, default=3, metavar="N",
+                      help="number of campaign seeds to aggregate (default: 3)")
+    p_ch.set_defaults(fn=cmd_chaos)
+
     p_tr = sub.add_parser("trace", help="run a demo with tracing enabled")
     p_tr.add_argument("demo", metavar="DEMO",
                       help=f"demo to trace ({', '.join(DEMOS)})")
@@ -269,23 +316,38 @@ def main(argv: list[str] | None = None) -> int:
                       help="span category for --gantt (default: runner)")
     p_tr.set_defaults(fn=cmd_trace)
 
-    for p in (p_fig, p_ds, p_qs, p_fl, p_tr):
+    for p in (p_fig, p_ds, p_qs, p_fl, p_ch, p_tr):
         p.add_argument("--metrics", action="store_true",
                        help="print the metrics table after the run")
 
-    args = parser.parse_args(argv)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as e:
+        # argparse already printed its one-line usage error (unknown
+        # subcommand, bad flag value); surface the status as a return
+        # code so callers never see a traceback.
+        return int(e.code or 0)
     # ``trace`` and ``fleet`` manage their own Obs bundle (spans +
     # metrics); the other subcommands only need the registry when
     # --metrics is requested.
     if args.fn in (cmd_trace, cmd_fleet):
-        return args.fn(args)
+        return _dispatch(args)
     obs = configure(trace=False) if args.metrics else None
     try:
-        return args.fn(args)
+        return _dispatch(args)
     finally:
         if obs is not None:
             _maybe_print_metrics(args, obs)
             disable()
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    """Run a subcommand; unexpected errors become one log line, not a dump."""
+    try:
+        return args.fn(args)
+    except Exception as e:  # noqa: BLE001 - the CLI boundary
+        _log.error("%s: %s", type(e).__name__, e)
+        return 1
 
 
 if __name__ == "__main__":

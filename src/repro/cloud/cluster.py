@@ -36,6 +36,7 @@ class Cloud:
         io_heterogeneity: HeterogeneityModel | None = None,
         failure_model: "FailureModel | None" = None,
         obs: Obs | None = None,
+        chaos: "FaultInjector | None" = None,
     ) -> None:
         from repro.cloud.instance import CPU_HETEROGENEITY, IO_HETEROGENEITY
 
@@ -61,6 +62,19 @@ class Cloud:
         self._volumes: dict[str, EbsVolume] = {}
         self._launches = 0
         self._volume_count = 0
+        # Chaos: the injector answers the launch/advance/storage hook
+        # points below.  Launch attempts get their own counter so a
+        # rejected attempt never shifts the per-instance RNG forks that
+        # successful launches consume — installing chaos leaves every
+        # granted instance's hidden state byte-identical.
+        self.chaos = chaos
+        self._launch_attempts = 0
+        if chaos is not None:
+            if chaos.obs is None:
+                chaos.obs = self.obs
+            if chaos.has_s3_degradations:
+                self.s3.degradation = lambda: (chaos.s3_factor(self.now),
+                                               chaos.s3_sigma_boost(self.now))
 
     # -- clock -----------------------------------------------------------
 
@@ -69,10 +83,31 @@ class Cloud:
         return self.engine.now
 
     def advance(self, seconds: float) -> None:
-        """Move simulated time forward by ``seconds``."""
+        """Move simulated time forward by ``seconds``.
+
+        With chaos installed, the advance steps through any AZ-outage
+        onsets inside the window: at each onset every RUNNING instance in
+        the dying zone is failed (and billed to that moment) before time
+        continues, so post-outage code observes the zone already dark.
+        """
         if seconds < 0:
             raise ValueError("cannot advance time backwards")
-        self.engine.run(until=self.engine.now + seconds)
+        target = self.engine.now + seconds
+        if self.chaos is not None and self.chaos.has_outages:
+            for start, zone_name in self.chaos.outage_starts_between(
+                    self.engine.now, target):
+                if start > self.engine.now:
+                    self.engine.run(until=start)
+                self._kill_zone(zone_name)
+        self.engine.run(until=target)
+
+    def _kill_zone(self, zone_name: str) -> None:
+        """Fail every RUNNING instance in a zone (AZ outage onset)."""
+        for inst in self.running_instances():
+            if inst.zone.name == zone_name:
+                self.chaos.record_outage_kill(self.now, zone_name,
+                                              inst.instance_id)
+                self.fail_instance(inst)
 
     # -- instances ---------------------------------------------------------
 
@@ -87,17 +122,39 @@ class Cloud:
 
         The boot delay ("a penalty of 3 min for the new instance startup",
         §3.1) is drawn per launch; booting time is not billed.
+
+        With chaos installed the attempt may raise
+        :class:`~repro.chaos.LaunchRejected` (capacity crunch, AZ outage)
+        or come back with a pathological boot delay (boot hang — the
+        instance sits PENDING far past the normal range).
         """
+        target_zone = zone or self.region.zones[0]
+        if self.chaos is not None:
+            self._launch_attempts += 1
+            decision = self.chaos.launch_decision(
+                target_zone.name, self.now, self._launch_attempts)
+            if decision.kind == "reject":
+                if self.obs.enabled:
+                    self.obs.metrics.counter("cloud.instance.rejections",
+                                             zone=target_zone.name,
+                                             reason=decision.reason).inc()
+                from repro.chaos import LaunchRejected
+                raise LaunchRejected(target_zone.name, decision.reason)
+        else:
+            decision = None
         self._launches += 1
         rng = self.rng.fork(f"instance.{self._launches}")
+        boot_delay = rng.fork("boot").uniform(*self.boot_delay_range)
+        if decision is not None and decision.kind == "hang":
+            boot_delay = decision.hang_seconds
         inst = Instance(
             instance_id=f"i-{self._launches:06d}",
             itype=itype,
-            zone=zone or self.region.zones[0],
+            zone=target_zone,
             cpu_factor=self.cpu_heterogeneity.draw_factor(rng.fork("cpu")),
             io_factor=self.io_heterogeneity.draw_factor(rng.fork("io")),
             launched_at=self.now,
-            boot_delay=rng.fork("boot").uniform(*self.boot_delay_range),
+            boot_delay=boot_delay,
             time_to_failure=(
                 self.failure_model.draw_time_to_failure(rng.fork("failure"))
                 if self.failure_model is not None else None
@@ -213,6 +270,10 @@ class Cloud:
             placement_model=self.placement,
             seed=self.rng.fork(f"volume.{self._volume_count}").seed,
         )
+        if self.chaos is not None and self.chaos.has_ebs_degradations:
+            chaos = self.chaos
+            vol.degradation = (
+                lambda z=vol.zone.name: chaos.ebs_factor(self.now, z))
         self._volumes[vol.volume_id] = vol
         return vol
 

@@ -17,6 +17,7 @@ Models the §1.1/§5.1 EBS facts the experiments rely on:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.cloud.instance import Instance, InstanceError
 from repro.cloud.types import AvailabilityZone
@@ -65,6 +66,11 @@ class EbsVolume:
     placement_model: PlacementModel = field(default_factory=PlacementModel)
     seed: int = 0
     attached_to: Instance | None = None
+    #: Chaos hook: zero-arg callable giving the *current* throughput
+    #: multiplier for this volume's zone (degraded-EBS episodes).  The
+    #: cloud wires it when a fault injector is installed; ``None`` keeps
+    #: the undegraded fast path.
+    degradation: Callable[[], float] | None = None
     _directories: dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -118,6 +124,18 @@ class EbsVolume:
         if directory not in self._directories:
             raise EbsError(f"directory {directory!r} not stored on {self.volume_id}")
         return self._directories[directory]
+
+    def access_factor(self, directory: str) -> float:
+        """Placement factor times any active degradation episode.
+
+        This is what the execution service folds into I/O time: the
+        stable per-directory placement quality, further inflated while a
+        chaos scenario degrades this volume's zone.
+        """
+        f = self.placement_factor(directory)
+        if self.degradation is not None:
+            f *= self.degradation()
+        return f
 
     @property
     def directories(self) -> tuple[str, ...]:

@@ -10,6 +10,7 @@ retrieval example, so put/get latency modelling is enough.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.sim.random import RngStream
 from repro.units import GB, MB
@@ -42,6 +43,12 @@ class S3Store:
     base_latency: float = 0.08          # seconds per request
     bandwidth: float = 40 * MB          # bytes/s sustained
     latency_sigma: float = 0.35         # request-to-request variability
+    #: Chaos hook: zero-arg callable returning ``(factor, sigma_boost)``
+    #: for the current simulated time — a brownout stretches transfers by
+    #: ``factor`` and fattens the latency tail by ``sigma_boost``.  Wired
+    #: by the cloud when a fault injector is installed; ``None`` keeps
+    #: the undegraded fast path.
+    degradation: Callable[[], tuple[float, float]] | None = None
     _objects: dict[str, S3Object] = field(default_factory=dict)
 
     def put(self, key: str, size: int) -> S3Object:
@@ -75,7 +82,12 @@ class S3Store:
         if size < 0:
             raise S3Error("negative transfer size")
         base = self.base_latency + size / self.bandwidth
-        return base * rng.lognormal(0.0, self.latency_sigma)
+        sigma = self.latency_sigma
+        if self.degradation is not None:
+            factor, boost = self.degradation()
+            base *= factor
+            sigma += boost
+        return base * rng.lognormal(0.0, sigma)
 
     def retrieval_time(self, keys: list[str], rng: RngStream) -> float:
         """Total time to fetch many result objects sequentially.

@@ -80,7 +80,17 @@ class ExecutionService:
         rng = self.cloud.rng.fork(f"exec.{instance.instance_id}.{n}")
 
         setup = workload.profile.draw_setup(rng.fork("setup"))
-        storage_factor = storage.placement_factor(directory) if storage is not None else 1.0
+        if storage is not None:
+            # access_factor = stable placement quality x any active
+            # chaos degradation episode for the volume's zone.
+            storage_factor = storage.access_factor(directory)
+        elif self.cloud.chaos is not None:
+            # No explicit volume: reads hit instance-local EBS, which a
+            # degraded-throughput episode in this zone still slows.
+            storage_factor = self.cloud.chaos.ebs_factor(
+                self.cloud.now, instance.zone.name)
+        else:
+            storage_factor = 1.0
         t = (
             setup
             + breakdown.io * storage_factor / instance.io_factor

@@ -9,6 +9,7 @@ where crossovers fall) are volume-ratio driven and survive the scaling;
 EXPERIMENTS.md records paper-vs-measured for each.
 """
 
+from repro.experiments import exp_chaos as chaos
 from repro.experiments import exp_fig1 as fig1
 from repro.experiments import exp_fig2 as fig2
 from repro.experiments import exp_fleet as fleet
@@ -16,4 +17,4 @@ from repro.experiments import exp_grep as grep
 from repro.experiments import exp_pos as pos
 from repro.experiments import exp_side as side
 
-__all__ = ["fig1", "fig2", "fleet", "grep", "pos", "side"]
+__all__ = ["chaos", "fig1", "fig2", "fleet", "grep", "pos", "side"]

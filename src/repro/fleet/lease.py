@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 
 from repro.cloud.billing import UsageRecord
 from repro.cloud.cluster import Cloud
-from repro.cloud.instance import Instance
+from repro.cloud.instance import Instance, InstanceState
 from repro.packing.index import FreeSpaceIndex
 
 __all__ = ["LeaseError", "LeaseState", "Lease", "UsageSlice", "WarmPool",
@@ -69,6 +69,12 @@ class Lease:
     campaign: str | None = None
     state: LeaseState = LeaseState.ACTIVE
     released_at: float | None = None
+    #: How the lease ended up: ``"ok"``, ``"instance-failed"`` (the
+    #: instance died under the lease — e.g. an AZ outage), or
+    #: ``"launch-fault-absorbed"`` (a cold boot was refused by the cloud
+    #: and the fleet substituted a pooled extension).  Faults surface
+    #: here as explicit outcomes instead of vanishing into exceptions.
+    outcome: str = "ok"
 
     @property
     def source(self) -> str:
@@ -201,6 +207,8 @@ class LeaseManager:
         self.pool_misses = 0
         self.pool_extensions = 0
         self.reaped = 0
+        self.pool_evicted = 0      # pooled instances lost (dead zone/crash)
+        self.launch_faults = 0     # cold boots the cloud refused (chaos)
 
     # -- capacity ----------------------------------------------------------
 
@@ -226,29 +234,49 @@ class LeaseManager:
         instance even though it must enter a new paid hour (still saves
         the boot delay).  Raises :class:`LeaseError` when none apply.
         """
+        from repro.chaos import ChaosError
+
         if est_seconds < 0:
             raise LeaseError("estimated duration must be non-negative")
-        taken = self.pool.take(est_seconds, at)
+        taken = self._take_healthy(est_seconds, at)
         extension = False
+        fault: str | None = None
+        instance = None
         if taken is not None:
             entry, ready = taken
             instance, warm = entry.instance, True
             self.pool_hits += 1
-        elif self.can_boot():
-            instance = self.cloud.launch_instance(wait=False)
-            ready = at + instance.boot_delay
-            instance.mark_running(ready)
-            warm = False
-            self.pool_misses += 1
         else:
-            taken = self.pool.take_earliest(at) if allow_extension else None
-            if taken is None:
-                raise LeaseError(
-                    f"fleet at capacity ({self.max_instances} instances) "
-                    "with no pooled lease available")
-            entry, ready = taken
-            instance, warm, extension = entry.instance, True, True
-            self.pool_extensions += 1
+            if self.can_boot():
+                try:
+                    instance = self.cloud.launch_instance(wait=False)
+                except ChaosError as e:
+                    # The cloud refused the boot; surface the fault and
+                    # fall through to a pooled extension if one exists.
+                    fault = getattr(e, "reason", None) or str(e)
+                    self.launch_faults += 1
+                    if self.obs.enabled:
+                        self.obs.metrics.counter("fleet.lease.launch_faults",
+                                                 reason=fault).inc()
+                else:
+                    ready = at + instance.boot_delay
+                    instance.mark_running(ready)
+                    warm = False
+                    self.pool_misses += 1
+            if instance is None:
+                taken = (self._take_earliest_healthy(at)
+                         if allow_extension else None)
+                if taken is None:
+                    if fault is not None:
+                        raise LeaseError(
+                            f"cold boot refused ({fault}) and no pooled "
+                            "lease available")
+                    raise LeaseError(
+                        f"fleet at capacity ({self.max_instances} instances) "
+                        "with no pooled lease available")
+                entry, ready = taken
+                instance, warm, extension = entry.instance, True, True
+                self.pool_extensions += 1
 
         self._count += 1
         lease = Lease(
@@ -261,6 +289,8 @@ class LeaseManager:
             extension=extension,
             campaign=campaign,
         )
+        if fault is not None:
+            lease.outcome = "launch-fault-absorbed"
         self._leases[lease.lease_id] = lease
         self._active.add(instance.instance_id)
         self._known.add(instance.instance_id)
@@ -277,6 +307,58 @@ class LeaseManager:
                                track=instance.instance_id, lease=lease.lease_id,
                                tenant=tenant, source=lease.source)
         return lease
+
+    def _take_healthy(self, est_seconds: float,
+                      at: float) -> tuple[_PoolEntry, float] | None:
+        """Best-fit pool take that skips (and evicts) dead instances."""
+        while True:
+            taken = self.pool.take(est_seconds, at)
+            if taken is None:
+                return None
+            if taken[0].instance.state is InstanceState.RUNNING:
+                return taken
+            self._note_evicted(taken[0].instance)
+
+    def _take_earliest_healthy(self, at: float) -> tuple[_PoolEntry, float] | None:
+        """Earliest-available pool take that skips dead instances."""
+        while True:
+            taken = self.pool.take_earliest(at)
+            if taken is None:
+                return None
+            if taken[0].instance.state is InstanceState.RUNNING:
+                return taken
+            self._note_evicted(taken[0].instance)
+
+    def _note_evicted(self, instance: Instance) -> None:
+        self.pool_evicted += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("fleet.pool.evicted").inc()
+            self.obs.tracer.instant("fleet.pool.evicted", cat="lease",
+                                    track=instance.instance_id)
+
+    def evict_dead_zones(self, now: float) -> int:
+        """Drop pooled instances that died or whose zone is dark at ``now``.
+
+        With a :class:`~repro.chaos.injector.FaultInjector` installed on
+        the cloud, still-RUNNING instances parked in a zone under an
+        active outage are failed (billing their partial hours) before
+        eviction — the pool must not hand out capacity in a dead AZ.
+        Returns the number of entries evicted.
+        """
+        chaos = getattr(self.cloud, "chaos", None)
+        n = 0
+        for entry in self.pool.entries():
+            inst = entry.instance
+            dead_zone = (chaos is not None
+                         and chaos.zone_down(inst.zone.name, now))
+            if inst.state is InstanceState.RUNNING and not dead_zone:
+                continue
+            if inst.state is InstanceState.RUNNING and dead_zone:
+                self.cloud.fail_instance(inst)
+            self.pool._remove(entry.slot)
+            self._note_evicted(inst)
+            n += 1
+        return n
 
     def release(self, lease: Lease, at: float) -> None:
         """Return the lease; the instance joins the warm pool.
@@ -299,6 +381,17 @@ class LeaseManager:
             tenant=lease.tenant, campaign=lease.campaign,
             t0=lease.ready_at, t1=at,
         ))
+        if inst.state is not InstanceState.RUNNING:
+            # The instance died under the lease (crash, AZ outage kill).
+            # Its hours are already billed by whoever failed it; surface
+            # the fault as an outcome and keep the corpse out of the pool.
+            lease.outcome = "instance-failed"
+            if self.obs.enabled:
+                self.obs.metrics.counter("fleet.lease.failed").inc()
+                self.obs.tracer.instant("fleet.lease.failed", cat="lease",
+                                        track=inst.instance_id,
+                                        lease=lease.lease_id)
+            return
         boundary = self.cloud.paid_through(inst, at)
         self.pool.put(inst, at, boundary)
         obs = self.obs
@@ -343,6 +436,11 @@ class LeaseManager:
             self._retire(entry.instance, entry.available_at)
 
     def _retire(self, instance: Instance, at: float) -> None:
+        if instance.state is not InstanceState.RUNNING:
+            # Killed while pooled (e.g. AZ outage): the kill already
+            # billed its hours — terminating again would double-bill.
+            self._note_evicted(instance)
+            return
         rec = self.cloud.terminate_instance(instance, at=min(at, self.cloud.now))
         if rec is not None:
             self.records.append(rec)
@@ -377,4 +475,6 @@ class LeaseManager:
             "hit_rate": round(self.hit_rate(), 4),
             "reaped": self.reaped,
             "leases": len(self._leases),
+            "pool_evicted": self.pool_evicted,
+            "launch_faults": self.launch_faults,
         }

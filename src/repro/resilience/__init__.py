@@ -1,0 +1,54 @@
+"""``repro.resilience`` — the policy layer that absorbs injected faults.
+
+:mod:`repro.chaos` decides what goes wrong; this package decides what the
+campaign does about it, using only *observable* signals (a rejected
+launch, a boot that has not completed by a timeout, a measured-slow
+probe) — never the injector's ground truth:
+
+* :class:`RetryPolicy` — exponential backoff with decorrelated jitter on
+  **simulated** time, capped by attempts and a wall-time budget; the one
+  backoff implementation every runner shares;
+* :class:`CircuitBreaker` / :class:`BreakerBoard` — per-availability-zone
+  closed→open→half-open breakers that steer launches away from zones
+  that keep refusing them;
+* :class:`ResilientLauncher` — retries, breaker steering, and hedged
+  launches (a boot exceeding the p99 of the boot-delay distribution is
+  abandoned and re-tried) behind one ``launch()`` call;
+* :func:`acquire_replacement` — the shared replacement-acquisition and
+  penalty-timing helper the dynamic and fault-tolerant runners both use;
+* :class:`DegradationPlanner` — when capacity cannot be acquired at all,
+  re-packs the orphaned work onto the surviving instances and recomputes
+  the residual-based adjusted deadline instead of silently missing;
+* :func:`hedged_retrieval` — tail-tolerant S3 fetches (best of two
+  request draws per object).
+
+``experiments/exp_chaos.py`` sweeps scenarios × policies and shows the
+paper's ≤10 % miss bound holding under faults only when this layer is on.
+"""
+
+from repro.resilience.breaker import BreakerBoard, BreakerState, CircuitBreaker
+from repro.resilience.degrade import DegradationPlanner, ReplanResult
+from repro.resilience.launch import (
+    Acquisition,
+    CapacityError,
+    ResilientLauncher,
+    acquire_replacement,
+    launch_fleet,
+)
+from repro.resilience.retry import RetryPolicy, hedged_retrieval, hedged_transfer_time
+
+__all__ = [
+    "Acquisition",
+    "BreakerBoard",
+    "BreakerState",
+    "CapacityError",
+    "CircuitBreaker",
+    "DegradationPlanner",
+    "ReplanResult",
+    "ResilientLauncher",
+    "RetryPolicy",
+    "acquire_replacement",
+    "hedged_retrieval",
+    "hedged_transfer_time",
+    "launch_fleet",
+]

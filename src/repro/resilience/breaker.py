@@ -1,0 +1,123 @@
+"""Per-availability-zone circuit breakers.
+
+A zone that keeps rejecting launches (capacity crunch, outage) should
+stop being asked: after ``failure_threshold`` consecutive failures the
+breaker **opens** and the launcher steers elsewhere; after ``cooldown``
+simulated seconds it goes **half-open** and admits one trial launch — a
+success closes it, a failure re-opens it.  All state transitions are
+driven by explicit timestamps (the caller's simulated clock), never the
+wall clock, so breaker behaviour replays deterministically.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Obs
+
+__all__ = ["BreakerState", "CircuitBreaker", "BreakerBoard"]
+
+
+class BreakerState(enum.Enum):
+    """Where a zone's breaker sits in the closed→open→half-open cycle."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+#: Gauge encoding of the state, so dashboards can plot transitions.
+_STATE_LEVEL = {BreakerState.CLOSED: 0, BreakerState.HALF_OPEN: 1,
+                BreakerState.OPEN: 2}
+
+
+@dataclass
+class CircuitBreaker:
+    """One zone's closed→open→half-open state machine."""
+
+    zone: str
+    failure_threshold: int = 3
+    cooldown: float = 300.0
+    state: BreakerState = BreakerState.CLOSED
+    consecutive_failures: int = 0
+    opened_at: float | None = None
+    transitions: list[tuple[float, BreakerState]] = field(default_factory=list)
+    _obs: "Obs | None" = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.cooldown <= 0:
+            raise ValueError("cooldown must be positive")
+
+    # -- queries -----------------------------------------------------------
+
+    def allows(self, now: float) -> bool:
+        """May a launch be attempted in this zone at ``now``?"""
+        if self.state is BreakerState.OPEN:
+            if self.opened_at is not None and now - self.opened_at >= self.cooldown:
+                self._transition(BreakerState.HALF_OPEN, now)
+                return True
+            return False
+        return True
+
+    # -- feedback ----------------------------------------------------------
+
+    def record_success(self, now: float) -> None:
+        """A launch in this zone succeeded; reset (and close) the breaker."""
+        self.consecutive_failures = 0
+        if self.state is not BreakerState.CLOSED:
+            self._transition(BreakerState.CLOSED, now)
+
+    def record_failure(self, now: float) -> None:
+        """A launch failed; open the breaker at the threshold (or re-open)."""
+        self.consecutive_failures += 1
+        if self.state is BreakerState.HALF_OPEN:
+            self._transition(BreakerState.OPEN, now)
+        elif (self.state is BreakerState.CLOSED
+              and self.consecutive_failures >= self.failure_threshold):
+            self._transition(BreakerState.OPEN, now)
+
+    def _transition(self, to: BreakerState, now: float) -> None:
+        self.state = to
+        self.opened_at = now if to is BreakerState.OPEN else self.opened_at
+        self.transitions.append((now, to))
+        obs = self._obs
+        if obs is not None and obs.enabled:
+            obs.metrics.counter("resilience.breaker.transitions",
+                                zone=self.zone, to=to.value).inc()
+            obs.metrics.gauge("resilience.breaker.state",
+                              zone=self.zone).set(_STATE_LEVEL[to])
+            obs.tracer.instant("resilience.breaker." + to.value,
+                               cat="resilience", track=self.zone)
+
+
+class BreakerBoard:
+    """The launcher's view: one breaker per zone, created on demand."""
+
+    def __init__(self, *, failure_threshold: int = 3, cooldown: float = 300.0,
+                 obs: "Obs | None" = None) -> None:
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.obs = obs
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def breaker(self, zone: str) -> CircuitBreaker:
+        """The (lazily created) breaker for ``zone``."""
+        b = self._breakers.get(zone)
+        if b is None:
+            b = CircuitBreaker(zone, failure_threshold=self.failure_threshold,
+                               cooldown=self.cooldown, _obs=self.obs)
+            self._breakers[zone] = b
+        return b
+
+    def allows(self, zone: str, now: float) -> bool:
+        """May a launch be attempted in ``zone`` at ``now``?"""
+        return self.breaker(zone).allows(now)
+
+    def states(self) -> dict[str, str]:
+        """Zone → state snapshot (for reports and the chaos sweep)."""
+        return {z: b.state.value for z, b in sorted(self._breakers.items())}

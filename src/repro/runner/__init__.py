@@ -11,13 +11,14 @@ re-attach their EBS volume to a replacement.
 from repro.runner.dynamic import DynamicPolicy, execute_with_monitoring
 from repro.runner.ebs_plan import DeviceAssignment, execute_ebs_plan
 from repro.runner.event_driven import FleetTimeline, execute_plan_event_driven
-from repro.runner.execute import ExecutionReport, InstanceRun, execute_plan
+from repro.runner.execute import ExecutionReport, FailedBin, InstanceRun, execute_plan
 from repro.runner.fault_tolerant import CrashEvent, FaultPolicy, execute_fault_tolerant
 from repro.runner.fleet import execute_on_fleet
 from repro.runner.quality import execute_quality_aware
 
 __all__ = [
     "ExecutionReport",
+    "FailedBin",
     "InstanceRun",
     "execute_plan",
     "execute_on_fleet",

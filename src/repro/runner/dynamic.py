@@ -22,11 +22,12 @@ from typing import TYPE_CHECKING
 from repro.cloud.cluster import Cloud
 from repro.cloud.service import ExecutionService, Workload
 from repro.core.planner import ProvisioningPlan
-from repro.runner.execute import ExecutionReport, InstanceRun
+from repro.runner.execute import ExecutionReport, FailedBin, InstanceRun
 from repro.units import HOUR
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.fleet.lease import LeaseManager
+    from repro.resilience.launch import ResilientLauncher
 
 __all__ = ["DynamicPolicy", "execute_with_monitoring"]
 
@@ -105,6 +106,7 @@ def execute_with_monitoring(
     policy: DynamicPolicy | None = None,
     service: ExecutionService | None = None,
     lease_manager: "LeaseManager | None" = None,
+    launcher: "ResilientLauncher | None" = None,
 ) -> tuple[ExecutionReport, list[ReplacementEvent]]:
     """Execute a plan with straggler replacement.
 
@@ -121,7 +123,17 @@ def execute_with_monitoring(
     the usual boot + attach penalty applies.  Leased replacements are
     billed by the manager at retirement (call its ``shutdown()``), not by
     this runner.
+
+    With a ``launcher``, launches (initial and replacement) ride the
+    resilience layer: faults are retried with backoff, breakers steer
+    around refusing zones, and a replacement that still cannot be
+    acquired keeps the straggler instead of failing the bin.  The
+    launcher is also fed ``note_slow_zone`` on each replacement, so
+    measured-slow zones are deprioritised for later acquisitions.
     """
+    from repro.chaos import ChaosError
+    from repro.resilience.launch import CapacityError, acquire_replacement, launch_fleet
+
     policy = policy or DynamicPolicy()
     svc = service or ExecutionService(cloud)
     obs = cloud.obs
@@ -129,9 +141,17 @@ def execute_with_monitoring(
     events: list[ReplacementEvent] = []
 
     occupied = [(i, list(units)) for i, units in enumerate(plan.assignments) if units]
-    instances = [cloud.launch_instance(wait=False) for _ in occupied]
+    by_index = dict(occupied)
+    granted, failed_launches = launch_fleet(cloud, [i for i, _ in occupied],
+                                            launcher=launcher)
+    for idx, reason in failed_launches:
+        units = by_index[idx]
+        report.failures.append(FailedBin(
+            bin_index=idx, reason=reason, n_units=len(units),
+            volume=sum(u.size for u in units)))
+    instances = [inst for _, inst, _ in granted]
     if instances:
-        latest = max(i.ready_at for i in instances)
+        latest = max(inst.ready_at + wait for _, inst, wait in granted)
         if latest > cloud.now:
             cloud.advance(latest - cloud.now)
         for inst in instances:
@@ -140,7 +160,8 @@ def execute_with_monitoring(
 
     work_start = cloud.now
     runs: list[InstanceRun] = []
-    for inst, (idx, units) in zip(instances, occupied):
+    for idx, inst, launch_wait in granted:
+        units = by_index[idx]
         predicted = plan.predicted_times[idx] if idx < len(plan.predicted_times) else 0.0
         split = _split_point(units, policy.probe_fraction)
         probe, rest = units[:split], units[split:]
@@ -189,55 +210,68 @@ def execute_with_monitoring(
                     duration += svc.run(active, rest[:done], workload,
                                         advance_clock=False)
                     rest = rest[done:]
-            # Retire the straggler; its (partial) hours are billed anyway.
-            cloud.ledger.record(active.instance_id, active.itype.name,
-                                work_start, work_start + duration,
-                                active.itype.hourly_rate)
-            lease = None
-            if lease_manager is not None:
-                rest_volume = sum(u.size for u in rest)
-                est_rest = (predicted * (rest_volume / volume)
-                            if volume else t_probe)
-                lease = lease_manager.acquire(
-                    "dynamic", est_seconds=est_rest,
-                    at=work_start + duration, campaign=f"bin-{idx}")
-                replacement = lease.instance
+            rest_volume = sum(u.size for u in rest)
+            est_rest = (predicted * (rest_volume / volume)
+                        if volume else t_probe)
+            if launcher is not None:
+                # Observable feedback: this zone produced a straggler, so
+                # later acquisitions deprioritise it.
+                launcher.note_slow_zone(active.zone.name)
+            replacement = None
+            try:
                 # Warm lease: already booted inside a paid hour — only
-                # the EBS move is paid.  Cold: the drawn boot plus attach.
-                penalty = ((lease.ready_at - (work_start + duration))
-                           + policy.attach_penalty)
-            else:
-                replacement = cloud.launch_instance(wait=False)
-                replacement.mark_running(max(cloud.now, replacement.ready_at))
-                penalty = policy.replacement_penalty
-            events.append(ReplacementEvent(
-                bin_index=idx,
-                old_instance=active.instance_id,
-                new_instance=replacement.instance_id,
-                at_progress=(volume - sum(u.size for u in rest)) / volume
-                if volume else 1.0,
-                observed_ratio=ratio,
-            ))
-            if obs.enabled:
-                obs.tracer.instant("runner.straggler.replaced", cat="runner",
-                                   track=active.instance_id, bin=idx,
-                                   replacement=replacement.instance_id,
-                                   source=lease.source if lease else "boot",
-                                   observed_ratio=round(ratio, 4))
-                obs.tracer.add_span(
-                    "runner.replacement.penalty", work_start + duration,
-                    work_start + duration + penalty,
-                    cat="runner", track=replacement.instance_id, bin=idx)
-                obs.metrics.counter("runner.replacements",
-                                    mode=policy.replace_at,
-                                    source=lease.source if lease else "boot",
-                                    ).inc()
-            active.terminate(max(cloud.now, work_start + duration))
-            duration += penalty
-            active = replacement
-            active_lease = lease
-            active_since = duration
-            replacements += 1
+                # the EBS move is paid.  Cold/fresh: boot plus attach.
+                replacement, lease, penalty = acquire_replacement(
+                    cloud, at=work_start + duration, est_seconds=est_rest,
+                    lease_manager=lease_manager, launcher=launcher,
+                    tenant="dynamic", campaign=f"bin-{idx}",
+                    boot_attach_penalty=policy.replacement_penalty,
+                    warm_attach_penalty=policy.attach_penalty)
+            except (ChaosError, CapacityError):
+                # No replacement to be had under the installed faults:
+                # keep the straggler working (§7's "let them run"
+                # fallback) rather than fail the bin outright.
+                if obs.enabled:
+                    obs.tracer.instant("runner.replacement.unavailable",
+                                       cat="runner",
+                                       track=active.instance_id, bin=idx)
+                    obs.metrics.counter(
+                        "runner.replacements.unavailable").inc()
+            if replacement is not None:
+                # Retire the straggler; its (partial) hours are billed
+                # anyway.
+                cloud.ledger.record(active.instance_id, active.itype.name,
+                                    work_start, work_start + duration,
+                                    active.itype.hourly_rate)
+                events.append(ReplacementEvent(
+                    bin_index=idx,
+                    old_instance=active.instance_id,
+                    new_instance=replacement.instance_id,
+                    at_progress=(volume - sum(u.size for u in rest)) / volume
+                    if volume else 1.0,
+                    observed_ratio=ratio,
+                ))
+                if obs.enabled:
+                    obs.tracer.instant("runner.straggler.replaced",
+                                       cat="runner",
+                                       track=active.instance_id, bin=idx,
+                                       replacement=replacement.instance_id,
+                                       source=lease.source if lease else "boot",
+                                       observed_ratio=round(ratio, 4))
+                    obs.tracer.add_span(
+                        "runner.replacement.penalty", work_start + duration,
+                        work_start + duration + penalty,
+                        cat="runner", track=replacement.instance_id, bin=idx)
+                    obs.metrics.counter("runner.replacements",
+                                        mode=policy.replace_at,
+                                        source=lease.source if lease else "boot",
+                                        ).inc()
+                active.terminate(max(cloud.now, work_start + duration))
+                duration += penalty
+                active = replacement
+                active_lease = lease
+                active_since = duration
+                replacements += 1
 
         if rest:
             t_rest_start = duration
@@ -253,7 +287,7 @@ def execute_with_monitoring(
             instance_id=active.instance_id,
             n_units=len(units),
             volume=volume,
-            boot_delay=active.boot_delay,
+            boot_delay=launch_wait + active.boot_delay,
             duration=duration,
             predicted=predicted,
         ))

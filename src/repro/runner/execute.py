@@ -11,12 +11,17 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from typing import TYPE_CHECKING
+
 from repro.cloud.cluster import Cloud
 from repro.cloud.service import ExecutionService, Workload
 from repro.core.planner import ProvisioningPlan
 from repro.units import HOUR
 
-__all__ = ["InstanceRun", "ExecutionReport", "execute_plan"]
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.launch import ResilientLauncher
+
+__all__ = ["InstanceRun", "FailedBin", "ExecutionReport", "execute_plan"]
 
 
 @dataclass(frozen=True)
@@ -40,6 +45,25 @@ class InstanceRun:
         return t > deadline
 
 
+@dataclass(frozen=True)
+class FailedBin:
+    """A bin whose work did not complete — reported, never silently lost.
+
+    ``absorbed`` marks bins whose units were re-homed onto surviving
+    instances by a degradation replan; their failure cost shows up in the
+    survivors' durations instead of as missing work.
+    """
+
+    bin_index: int
+    reason: str
+    n_units: int = 0
+    volume: int = 0
+    completed_units: int = 0
+    elapsed: float = 0.0
+    billed_hours: int = 0
+    absorbed: bool = False
+
+
 @dataclass
 class ExecutionReport:
     """Outcome of running a plan."""
@@ -51,6 +75,10 @@ class ExecutionReport:
     #: seconds to fetch all result objects from S3 (None = not measured);
     #: the §1 claim is that reshaping shrinks this by merging outputs.
     retrieval_seconds: float | None = None
+    #: bins whose work failed outright (launch refused, crashes
+    #: exhausted); empty on any healthy run, so legacy callers see the
+    #: exact report they always did.
+    failures: list[FailedBin] = field(default_factory=list)
 
     @property
     def n_instances(self) -> int:
@@ -73,12 +101,17 @@ class ExecutionReport:
         return sum(1 for r in self.runs if r.missed(self.deadline))
 
     @property
+    def n_failed(self) -> int:
+        """Bins whose work never completed (and was not absorbed)."""
+        return sum(1 for f in self.failures if not f.absorbed)
+
+    @property
     def met_deadline(self) -> bool:
-        return self.n_missed == 0
+        return self.n_missed == 0 and self.n_failed == 0
 
     def summary(self) -> dict:
         """Headline execution facts in one flat dict."""
-        return {
+        out = {
             "strategy": self.strategy,
             "instances": self.n_instances,
             "makespan_s": round(self.makespan, 1),
@@ -87,6 +120,10 @@ class ExecutionReport:
             "instance_hours": self.instance_hours,
             "cost_usd": round(self.cost, 4),
         }
+        if self.failures:
+            out["failed_bins"] = self.n_failed
+            out["absorbed_bins"] = len(self.failures) - self.n_failed
+        return out
 
 
 def execute_plan(
@@ -97,6 +134,7 @@ def execute_plan(
     service: ExecutionService | None = None,
     bill: bool = True,
     measure_retrieval: bool = False,
+    launcher: "ResilientLauncher | None" = None,
 ) -> ExecutionReport:
     """Run every assignment of ``plan`` on its own fresh instance.
 
@@ -106,16 +144,64 @@ def execute_plan(
     uniform and performing well" is §5's *planner* assumption — the cloud
     underneath still deals heterogeneous instances, which is exactly how
     the paper comes to miss its 100 GB prediction by ~30 % (Fig. 6).
+
+    With chaos installed on the cloud, launches may fail; a ``launcher``
+    absorbs those faults (retry/steer/hedge).  Bins that still cannot get
+    an instance are reported in ``report.failures`` — and, when the
+    launcher carries a :class:`~repro.resilience.degrade.DegradationPlanner`,
+    their units are re-packed onto the surviving bins instead of dropped.
     """
+    from repro.resilience.launch import launch_fleet
+
     svc = service or ExecutionService(cloud)
     obs = cloud.obs
     report = ExecutionReport(deadline=plan.deadline, strategy=plan.strategy)
-    occupied = [(i, units) for i, units in enumerate(plan.assignments) if units]
+    occupied = [(i, list(units)) for i, units in enumerate(plan.assignments) if units]
+    by_index = dict(occupied)
 
     # All instances are requested together and boot in parallel.
-    instances = [cloud.launch_instance(wait=False) for _ in occupied]
+    granted, failed = launch_fleet(cloud, [i for i, _ in occupied],
+                                   launcher=launcher)
+    for idx, reason in failed:
+        units = by_index[idx]
+        report.failures.append(FailedBin(
+            bin_index=idx, reason=reason, n_units=len(units),
+            volume=sum(u.size for u in units)))
+
+    predicted_by_index = {
+        idx: (plan.predicted_times[idx] if idx < len(plan.predicted_times)
+              else 0.0)
+        for idx, _ in occupied
+    }
+    if (failed and granted and launcher is not None
+            and launcher.degradation is not None):
+        # Graceful degradation: spread the orphaned units over the bins
+        # that did get instances, scaling their predicted times so the
+        # probe/miss logic still has a meaningful baseline.
+        orphans = [u for idx, _ in failed for u in by_index[idx]]
+        replan = launcher.degradation.replan(
+            [by_index[idx] for idx, _, _ in granted], orphans,
+            predicted_times=[predicted_by_index[idx] for idx, _, _ in granted])
+        for (idx, _, _), merged, t in zip(granted, replan.assignments,
+                                          replan.predicted_times):
+            by_index[idx] = list(merged)
+            predicted_by_index[idx] = t
+        report.failures = [
+            FailedBin(f.bin_index, f.reason, f.n_units, f.volume,
+                      absorbed=True)
+            for f in report.failures
+        ]
+        if obs.enabled:
+            obs.tracer.instant("resilience.degradation.replan",
+                               cat="resilience", moved=replan.moved_units,
+                               survivors=len(granted))
+            obs.metrics.counter("resilience.replans").inc()
+
+    instances = [inst for _, inst, _ in granted]
+    waits = {inst.instance_id: w for _, inst, w in granted}
     if instances:
-        latest_ready = max(i.ready_at for i in instances)
+        latest_ready = max(i.ready_at + waits[i.instance_id]
+                           for i in instances)
         if latest_ready > cloud.now:
             cloud.advance(latest_ready - cloud.now)
         for inst in instances:
@@ -124,14 +210,15 @@ def execute_plan(
 
     runs: list[InstanceRun] = []
     work_start = cloud.now
-    for inst, (idx, units) in zip(instances, occupied):
+    for idx, inst, wait in granted:
+        units = by_index[idx]
         duration = svc.run(inst, units, workload, advance_clock=False)
-        predicted = plan.predicted_times[idx] if idx < len(plan.predicted_times) else 0.0
+        predicted = predicted_by_index[idx]
         runs.append(InstanceRun(
             instance_id=inst.instance_id,
             n_units=len(units),
             volume=sum(u.size for u in units),
-            boot_delay=inst.boot_delay,
+            boot_delay=wait + inst.boot_delay,
             duration=duration,
             predicted=predicted,
         ))
@@ -167,8 +254,8 @@ def execute_plan(
         # Each processed unit file yields one result object in S3; the
         # §1 retrieval advantage of reshaping comes from this object count.
         meta_by_run: list[tuple[str, int]] = []
-        for inst, (idx, units) in zip(instances, occupied):
-            for j, unit in enumerate(units):
+        for idx, inst, _ in granted:
+            for j, unit in enumerate(by_index[idx]):
                 key = f"results/{plan.strategy}/{inst.instance_id}/{j}"
                 # result size ~ proportional to the unit's input size
                 cloud.s3.put(key, max(1, unit.size // 100))

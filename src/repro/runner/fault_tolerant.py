@@ -11,11 +11,15 @@ instance that ran — including crashed ones — bills its ceil-hours.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.cloud.cluster import Cloud
 from repro.cloud.service import ExecutionService, Workload
 from repro.core.planner import ProvisioningPlan
-from repro.runner.execute import ExecutionReport, InstanceRun
+from repro.runner.execute import ExecutionReport, FailedBin, InstanceRun
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.launch import ResilientLauncher
 
 __all__ = ["FaultPolicy", "CrashEvent", "execute_fault_tolerant"]
 
@@ -28,13 +32,19 @@ class FaultPolicy:
     ``detection_timeout`` is how long an unresponsive instance sits before
     the monitor "force[s] their termination" (§7); ``replacement_penalty``
     covers the fresh boot + EBS attach (§3.1's ~3 minutes);
-    ``max_crashes_per_bin`` guards against a pathological cloud.
+    ``max_crashes_per_bin`` guards against a pathological cloud:
+    ``on_exhaustion`` decides whether hitting it reports the bin as
+    failed — hours already billed, completed units counted — and moves
+    on (``"fail-bin"``, the default), or raises as the legacy behaviour
+    did (``"raise"``).  Failing one bin loudly beats folding the whole
+    campaign: the other bins' work and bills are still real.
     """
 
     batch_units: int = 25
     detection_timeout: float = 60.0
     replacement_penalty: float = 180.0
     max_crashes_per_bin: int = 8
+    on_exhaustion: str = "fail-bin"
 
     def __post_init__(self) -> None:
         if self.batch_units < 1:
@@ -43,6 +53,8 @@ class FaultPolicy:
             raise ValueError("timeouts must be non-negative")
         if self.max_crashes_per_bin < 1:
             raise ValueError("max_crashes_per_bin must be >= 1")
+        if self.on_exhaustion not in ("fail-bin", "raise"):
+            raise ValueError("on_exhaustion must be 'fail-bin' or 'raise'")
 
 
 @dataclass(frozen=True)
@@ -66,13 +78,20 @@ def execute_fault_tolerant(
     *,
     policy: FaultPolicy | None = None,
     service: ExecutionService | None = None,
+    launcher: "ResilientLauncher | None" = None,
 ) -> tuple[ExecutionReport, list[CrashEvent]]:
     """Run a plan to completion despite instance crashes.
 
     Guarantees: every unit is processed exactly once by a surviving
     instance (lost batches are redone in full), and the report's durations
-    include crash detection and replacement penalties.
+    include crash detection and replacement penalties.  A bin that cannot
+    be completed (crashes exhausted, or no instance obtainable under
+    chaos) is reported in ``report.failures`` with its billed hours and
+    completed-unit count rather than aborting the whole campaign.
     """
+    from repro.chaos import ChaosError
+    from repro.resilience.launch import CapacityError, acquire_replacement, launch_fleet
+
     policy = policy or FaultPolicy()
     svc = service or ExecutionService(cloud)
     obs = cloud.obs
@@ -81,9 +100,17 @@ def execute_fault_tolerant(
     events: list[CrashEvent] = []
 
     occupied = [(i, list(units)) for i, units in enumerate(plan.assignments) if units]
-    instances = [cloud.launch_instance(wait=False) for _ in occupied]
+    by_index = dict(occupied)
+    granted, failed_launches = launch_fleet(cloud, [i for i, _ in occupied],
+                                            launcher=launcher)
+    for idx, reason in failed_launches:
+        units = by_index[idx]
+        report.failures.append(FailedBin(
+            bin_index=idx, reason=reason, n_units=len(units),
+            volume=sum(u.size for u in units)))
+    instances = [inst for _, inst, _ in granted]
     if instances:
-        latest = max(i.ready_at for i in instances)
+        latest = max(inst.ready_at + wait for _, inst, wait in granted)
         if latest > cloud.now:
             cloud.advance(latest - cloud.now)
         for inst in instances:
@@ -92,10 +119,13 @@ def execute_fault_tolerant(
     work_start = cloud.now
 
     runs: list[InstanceRun] = []
-    for inst, (idx, units) in zip(instances, occupied):
+    for idx, inst, launch_wait in granted:
+        units = by_index[idx]
         state = _BinState()
         active = inst
         active_started = 0.0  # elapsed at which `active` began working
+        bin_billed_hours = 0  # hours already billed to crashed instances
+        failed_bin: FailedBin | None = None
         batches = [units[i:i + policy.batch_units]
                    for i in range(0, len(units), policy.batch_units)]
         b = 0
@@ -118,11 +148,37 @@ def execute_fault_tolerant(
                 continue
             # Crash mid-batch: progress of this batch is lost.
             state.crashes += 1
-            if state.crashes > policy.max_crashes_per_bin:
-                raise RuntimeError(
-                    f"bin {idx}: more than {policy.max_crashes_per_bin} "
-                    "crashes; the cloud is unusable")
             crash_elapsed = active_started + (ttf or 0.0)
+            if state.crashes > policy.max_crashes_per_bin:
+                if policy.on_exhaustion == "raise":
+                    raise RuntimeError(
+                        f"bin {idx}: more than {policy.max_crashes_per_bin} "
+                        "crashes; the cloud is unusable")
+                # Report the bin as failed: the hours are billed, the
+                # completed units counted, and the campaign continues.
+                active.fail(cloud.now)
+                rec = cloud.ledger.record(active.instance_id,
+                                          active.itype.name,
+                                          work_start + active_started,
+                                          work_start + crash_elapsed,
+                                          active.itype.hourly_rate)
+                bin_billed_hours += rec.hours
+                completed = sum(len(batches[i]) for i in range(b))
+                failed_bin = FailedBin(
+                    bin_index=idx, reason="crash-exhausted",
+                    n_units=len(units),
+                    volume=sum(u.size for u in units),
+                    completed_units=completed,
+                    elapsed=crash_elapsed + policy.detection_timeout,
+                    billed_hours=bin_billed_hours)
+                if obs.enabled:
+                    obs.tracer.instant("runner.bin.failed", cat="runner",
+                                       track=active.instance_id, bin=idx,
+                                       crashes=state.crashes,
+                                       completed_units=completed)
+                    obs.metrics.counter("runner.bins.failed",
+                                        reason="crash-exhausted").inc()
+                break
             events.append(CrashEvent(
                 bin_index=idx,
                 instance_id=active.instance_id,
@@ -146,22 +202,41 @@ def execute_fault_tolerant(
             # ledger entry is written explicitly rather than via
             # ``cloud.fail_instance``).
             active.fail(cloud.now)
-            cloud.ledger.record(active.instance_id, active.itype.name,
-                                work_start + active_started,
-                                work_start + crash_elapsed,
-                                active.itype.hourly_rate)
-            replacement = cloud.launch_instance(wait=False)
-            replacement.mark_running(max(cloud.now, replacement.ready_at))
-            active = replacement
-            state.elapsed += policy.replacement_penalty
+            rec = cloud.ledger.record(active.instance_id, active.itype.name,
+                                      work_start + active_started,
+                                      work_start + crash_elapsed,
+                                      active.itype.hourly_rate)
+            bin_billed_hours += rec.hours
+            try:
+                active, _, penalty = acquire_replacement(
+                    cloud, at=work_start + state.elapsed, launcher=launcher,
+                    boot_attach_penalty=policy.replacement_penalty)
+            except (ChaosError, CapacityError) as e:
+                completed = sum(len(batches[i]) for i in range(b))
+                failed_bin = FailedBin(
+                    bin_index=idx,
+                    reason=f"replacement-failed: {e}",
+                    n_units=len(units),
+                    volume=sum(u.size for u in units),
+                    completed_units=completed,
+                    elapsed=state.elapsed,
+                    billed_hours=bin_billed_hours)
+                if obs.enabled:
+                    obs.metrics.counter("runner.bins.failed",
+                                        reason="replacement-failed").inc()
+                break
+            state.elapsed += penalty
             active_started = state.elapsed
             # loop re-runs batch ``b`` on the replacement
 
+        if failed_bin is not None:
+            report.failures.append(failed_bin)
+            continue
         runs.append(InstanceRun(
             instance_id=active.instance_id,
             n_units=len(units),
             volume=sum(u.size for u in units),
-            boot_delay=inst.boot_delay,
+            boot_delay=launch_wait + inst.boot_delay,
             duration=state.elapsed,
             predicted=plan.predicted_times[idx]
             if idx < len(plan.predicted_times) else 0.0,

@@ -134,13 +134,39 @@ class TestExecuteFaultTolerant:
         if events:
             assert len(cloud.ledger.records) > report.n_instances
 
-    def test_unusable_cloud_raises(self):
+    def test_unusable_cloud_reports_failed_bins(self):
+        # Regression: crash exhaustion used to raise and fold the whole
+        # campaign; the default now reports the bin as failed with its
+        # billed hours and the run carries on.
+        plan = make_plan()
+        cloud = Cloud(seed=5, failure_model=FailureModel(mtbf_hours=1e-4))
+        report, events = execute_fault_tolerant(
+            cloud, pos_workload(), plan,
+            policy=FaultPolicy(batch_units=50, max_crashes_per_bin=2))
+        assert report.failures, "an unusable cloud must surface failed bins"
+        assert report.n_failed == len(report.failures)
+        assert not report.met_deadline
+        for f in report.failures:
+            assert f.reason == "crash-exhausted"
+            assert f.billed_hours >= 1          # crashed hours still paid
+            assert f.completed_units < f.n_units
+        # failed + completed bins account for the entire plan
+        done = {r for r in range(len(plan.assignments)) if plan.assignments[r]}
+        reported = {f.bin_index for f in report.failures}
+        assert len(report.runs) + len(reported) == len(done)
+
+    def test_unusable_cloud_raise_mode_preserved(self):
         plan = make_plan()
         cloud = Cloud(seed=5, failure_model=FailureModel(mtbf_hours=1e-4))
         with pytest.raises(RuntimeError, match="unusable"):
             execute_fault_tolerant(cloud, pos_workload(), plan,
                                    policy=FaultPolicy(batch_units=50,
-                                                      max_crashes_per_bin=2))
+                                                      max_crashes_per_bin=2,
+                                                      on_exhaustion="raise"))
+
+    def test_on_exhaustion_validation(self):
+        with pytest.raises(ValueError):
+            FaultPolicy(on_exhaustion="ignore")
 
     def test_deterministic(self):
         plan = make_plan()
