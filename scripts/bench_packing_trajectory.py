@@ -162,6 +162,58 @@ def collect_chaos_stats() -> dict:
     }
 
 
+def collect_runner_core_stats() -> dict:
+    """Execution-core facts for the entry: event throughput at fleet scale.
+
+    Runs one 64-instance plan through the event-driven configuration of
+    ``ExecutionCore`` (the purest engine-scheduled path: fleet-ready
+    barrier plus one completion event per bin) and records wall-clock
+    runtime, engine events fired, and events/sec.  A change that bloats
+    the core's per-event work — extra spans, accidental quadratic scans
+    over grants — shows up here before it hurts the big experiments.
+    """
+    import time
+
+    sys.path.insert(0, str(REPO / "src"))
+    import numpy as np
+
+    from repro.apps import PosCostProfile, PosTaggerApplication
+    from repro.cloud import Cloud, Workload
+    from repro.core import reshape
+    from repro.core.planner import ProvisioningPlan
+    from repro.corpus import text_400k_like
+    from repro.perfmodel.regression import fit_affine
+    from repro.runner import execute_plan_event_driven
+
+    n_bins = 64
+    units = list(reshape(text_400k_like(scale=0.02), None).units)
+    model = fit_affine(np.array([1e5, 1e6, 5e6]),
+                       0.327 + 0.865e-4 * np.array([1e5, 1e6, 5e6]))
+    assignments = [units[i::n_bins] for i in range(n_bins)]
+    plan = ProvisioningPlan(
+        deadline=240.0, planning_deadline=240.0, strategy="uniform",
+        predictor_name="affine", assignments=assignments,
+        predicted_times=[model.predict(sum(u.size for u in b))
+                         for b in assignments],
+    )
+    cloud = Cloud(seed=2010)
+    workload = Workload("postag", PosTaggerApplication(), PosCostProfile())
+
+    t0 = time.perf_counter()
+    report, timeline = execute_plan_event_driven(cloud, workload, plan)
+    elapsed = time.perf_counter() - t0
+    fired = cloud.engine.events_fired
+    return {
+        "workload": f"event-driven core, {n_bins}-instance plan, "
+                    f"{len(units)} units",
+        "n_runs": len(report.runs),
+        "timeline_points": len(timeline.points),
+        "events_fired": fired,
+        "wall_seconds": round(elapsed, 4),
+        "events_per_s": round(fired / elapsed, 1) if elapsed else 0.0,
+    }
+
+
 def distil(raw: dict) -> dict[str, dict[str, float]]:
     """Reduce a pytest-benchmark dump to ``kernel -> median/ops``."""
     kernels: dict[str, dict[str, float]] = {}
@@ -213,6 +265,7 @@ def main() -> None:
         "obs": collect_obs_stats(),
         "fleet": collect_fleet_stats(),
         "chaos": collect_chaos_stats(),
+        "runner_core": collect_runner_core_stats(),
     }
 
     trajectory = load_trajectory()

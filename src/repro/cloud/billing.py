@@ -9,9 +9,10 @@ full hour."
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
+
+from repro.units import billed_hours
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs import Obs
@@ -20,12 +21,18 @@ __all__ = ["UsageRecord", "BillingLedger", "billable_hours"]
 
 
 def billable_hours(duration_seconds: float) -> int:
-    """Hours billed for a running interval: ceil, minimum one for any use."""
+    """Hours billed for a running interval: ceil, minimum one for any use.
+
+    The ledger's refinement of :func:`repro.units.billed_hours`: an
+    interval of exactly zero seconds never entered an hour, so it bills
+    nothing (a committed-but-unused instance is the *report's* concern,
+    not the ledger's).
+    """
     if duration_seconds < 0:
         raise ValueError("negative duration")
     if duration_seconds == 0:
         return 0
-    return max(1, math.ceil(duration_seconds / 3600.0))
+    return billed_hours(duration_seconds)
 
 
 @dataclass(frozen=True)

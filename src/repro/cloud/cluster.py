@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import math
-
 from repro.obs import Obs, get_obs
 from repro.cloud.billing import BillingLedger, UsageRecord
 from repro.cloud.ebs import EbsError, EbsVolume, PlacementModel
@@ -12,6 +10,7 @@ from repro.cloud.s3 import S3Store
 from repro.cloud.types import SMALL, AvailabilityZone, InstanceType, Region, US_EAST
 from repro.sim.engine import SimulationEngine
 from repro.sim.random import RngStream
+from repro.units import billed_hours
 
 __all__ = ["Cloud"]
 
@@ -221,7 +220,7 @@ class Cloud:
         elapsed = t - instance.running_since
         if elapsed < 0:
             raise InstanceError("query precedes the RUNNING start")
-        hours = max(1, math.ceil(elapsed / 3600.0))
+        hours = billed_hours(elapsed)
         return instance.running_since + hours * 3600.0
 
     def remaining_paid_seconds(self, instance: Instance,

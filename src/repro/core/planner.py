@@ -26,7 +26,7 @@ from repro.packing import (
 )
 from repro.packing.index import BinLayout
 from repro.perfmodel.regression import FitError, Predictor
-from repro.units import HOUR
+from repro.units import HOUR, billed_hours
 
 __all__ = ["PlanError", "plan_cost", "ebs_assignment", "ProvisioningPlan", "StaticProvisioner"]
 
@@ -113,7 +113,7 @@ class ProvisioningPlan:
     def predicted_cost(self, rate: float) -> float:
         """Ceil-hour cost if every instance matches its prediction."""
         return sum(
-            rate * max(1, math.ceil(t / HOUR)) for t in self.predicted_times
+            rate * billed_hours(t) for t in self.predicted_times
         )
 
 

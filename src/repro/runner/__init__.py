@@ -1,14 +1,43 @@
 """Plan execution on the simulated cloud.
 
-:mod:`repro.runner.execute` runs a :class:`~repro.core.planner.ProvisioningPlan`
-on freshly launched instances — each instance processes its bin, misses are
-counted per instance against the user deadline (as in Figs. 8–9), and the
-ceil-hour bill is tallied.  :mod:`repro.runner.dynamic` adds the paper's §7
-future-work loop: monitor throughput, retire stragglers at low cost, and
-re-attach their EBS volume to a replacement.
+One event-driven loop — :class:`~repro.runner.core.ExecutionCore` — runs
+every :class:`~repro.core.planner.ProvisioningPlan`, delegating each
+decision to a policy triple (acquisition / progress / completion).  The
+public entry points are thin configurations of it:
+
+* :func:`~repro.runner.execute.execute_plan` — fresh instances, per-
+  instance misses against the user deadline (Figs. 8–9), ceil-hour bill;
+* :func:`~repro.runner.event_driven.execute_plan_event_driven` — the
+  same semantics on the bare engine clock, returning the fleet timeline;
+* :func:`~repro.runner.dynamic.execute_with_monitoring` — the paper's §7
+  loop: monitor throughput, retire stragglers, re-attach their EBS
+  volume to a replacement;
+* :func:`~repro.runner.fault_tolerant.execute_fault_tolerant` — §7 crash
+  recovery in unit batches;
+* :func:`~repro.runner.fleet.execute_on_fleet` — warm leases from a
+  shared fleet instead of private boots.
 """
 
-from repro.runner.dynamic import DynamicPolicy, execute_with_monitoring
+from repro.runner.core import (
+    AcquisitionPolicy,
+    BinGrant,
+    BinOutcome,
+    CompletionPolicy,
+    CoreResult,
+    CrashCompletion,
+    CrashProgress,
+    EventCompletion,
+    ExecutionCore,
+    FleetLaunchAcquisition,
+    LeaseAcquisition,
+    LeaseCompletion,
+    MonitoredCompletion,
+    ProgressPolicy,
+    RunToCompletion,
+    StaticCompletion,
+    StragglerProgress,
+)
+from repro.runner.dynamic import DynamicPolicy, ReplacementEvent, execute_with_monitoring
 from repro.runner.ebs_plan import DeviceAssignment, execute_ebs_plan
 from repro.runner.event_driven import FleetTimeline, execute_plan_event_driven
 from repro.runner.execute import ExecutionReport, FailedBin, InstanceRun, execute_plan
@@ -23,6 +52,7 @@ __all__ = [
     "execute_plan",
     "execute_on_fleet",
     "DynamicPolicy",
+    "ReplacementEvent",
     "execute_with_monitoring",
     "CrashEvent",
     "FaultPolicy",
@@ -32,4 +62,22 @@ __all__ = [
     "execute_plan_event_driven",
     "DeviceAssignment",
     "execute_ebs_plan",
+    # the core and its policies
+    "ExecutionCore",
+    "CoreResult",
+    "AcquisitionPolicy",
+    "ProgressPolicy",
+    "CompletionPolicy",
+    "BinGrant",
+    "BinOutcome",
+    "FleetLaunchAcquisition",
+    "LeaseAcquisition",
+    "RunToCompletion",
+    "StragglerProgress",
+    "CrashProgress",
+    "StaticCompletion",
+    "EventCompletion",
+    "MonitoredCompletion",
+    "CrashCompletion",
+    "LeaseCompletion",
 ]

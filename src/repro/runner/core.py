@@ -1,0 +1,1138 @@
+"""One event-driven execution kernel behind every runner entry point.
+
+The five public runners — :func:`~repro.runner.execute.execute_plan`,
+:func:`~repro.runner.event_driven.execute_plan_event_driven`,
+:func:`~repro.runner.dynamic.execute_with_monitoring`,
+:func:`~repro.runner.fault_tolerant.execute_fault_tolerant` and
+:func:`~repro.runner.fleet.execute_on_fleet` — used to each carry their own
+copy of the launch → boot-barrier → process → bill → terminate loop.
+:class:`ExecutionCore` is that loop written once, on the cloud's
+:class:`~repro.sim.engine.SimulationEngine`: fleet start is an engine event
+at the boot barrier, every bin completion is an engine event (which is what
+feeds the :class:`FleetTimeline` for *all* runners, not just the event-driven
+one), and every decision is delegated to three policy protocols:
+
+* :class:`AcquisitionPolicy` — how instances are obtained: a plain or
+  resilient fleet launch (:class:`FleetLaunchAcquisition`) or per-bin warm
+  leases from a :class:`~repro.fleet.lease.LeaseManager`
+  (:class:`LeaseAcquisition`).  The same policy also answers *replacement*
+  acquisition, so straggler and crash recovery share one penalty-timing
+  implementation (:func:`~repro.resilience.launch.acquire_replacement`)
+  instead of hand-rolling it per runner.
+* :class:`ProgressPolicy` — how one bin's units become a duration: run to
+  completion (:class:`RunToCompletion`), probe-and-replace stragglers
+  (:class:`StragglerProgress`), or batch with crash recovery
+  (:class:`CrashProgress`).
+* :class:`CompletionPolicy` — how outcomes are settled and the run wound
+  down: billing truth, failed-bin reporting, degradation replans, horizon
+  advance and termination (:class:`StaticCompletion` and friends).
+
+Every entry point is now a ~ten-line policy configuration over this core,
+and each reproduces its seed implementation bit-for-bit — durations,
+makespans, misses, bills, ledger records, lease and fault counters
+(``tests/test_runner_core_differential.py`` proves it against the frozen
+copies in ``tests/reference_runners.py``).
+
+Span/metric taxonomy (one vocabulary for all runners, ``cat="runner"``):
+
+========================================  =====================================
+``runner.task.run`` (span)                a bin (or bin remainder) processing
+``runner.probe.chunk`` (span)             straggler-probe head of a bin
+``runner.batch.run`` (span)               one crash-recovery batch
+``runner.replacement.penalty`` (span)     boot/attach gap before a replacement
+``runner.crash.recovery`` (span)          detection + replacement window
+``runner.straggler.replaced`` (instant)   a slow instance was retired
+``runner.replacement.unavailable``        replacement denied under faults
+``runner.crash.detected`` (instant)       a crash was noticed
+``runner.bin.failed`` (instant)           a bin gave up (exhausted/faulted)
+``runner.tasks.completed`` (counter)      completed bins, by strategy
+``runner.batches.completed`` (counter)    completed crash-recovery batches
+``runner.crashes.detected`` (counter)     crashes noticed
+``runner.units.requeued`` (counter)       units redone after a lost batch
+``runner.replacements`` (counter)         straggler replacements, by source
+``runner.replacements.unavailable``       replacements denied
+``runner.bins.failed`` (counter)          failed bins, by reason
+``runner.launches.failed`` (counter)      fleet launches refused outright
+``runner.task.seconds`` (histogram)       completed-bin durations
+``runner.probe.ratio`` (histogram)        expected/observed probe throughput
+``runner.deadline.margin`` (gauge)        deadline − makespan, by strategy
+``runner.deadline.misses`` (counter)      per-instance deadline misses
+========================================  =====================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Protocol
+
+from repro.cloud.cluster import Cloud
+from repro.cloud.service import ExecutionService, Workload
+from repro.core.planner import ProvisioningPlan
+from repro.runner.execute import ExecutionReport, FailedBin, InstanceRun
+from repro.units import HOUR, billed_hours
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cloud.instance import Instance
+    from repro.fleet.lease import Lease, LeaseManager
+    from repro.resilience.launch import ResilientLauncher
+
+__all__ = [
+    "AcquisitionPolicy",
+    "BinGrant",
+    "BinOutcome",
+    "CompletionPolicy",
+    "CoreResult",
+    "CrashEvent",
+    "CrashProgress",
+    "EventCompletion",
+    "ExecutionCore",
+    "FleetLaunchAcquisition",
+    "FleetTimeline",
+    "LeaseAcquisition",
+    "LeaseCompletion",
+    "MonitoredCompletion",
+    "CrashCompletion",
+    "ProgressPolicy",
+    "ReplacementEvent",
+    "RunToCompletion",
+    "StaticCompletion",
+    "StragglerProgress",
+]
+
+
+# --------------------------------------------------------------------------
+# shared result shapes
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class FleetTimeline:
+    """Progress snapshots collected as completion events fire."""
+
+    points: list[tuple[float, int, int]] = field(default_factory=list)
+    # (simulated time, instances still working, instances completed)
+
+    def record(self, t: float, working: int, completed: int) -> None:
+        """Append one snapshot."""
+        self.points.append((t, working, completed))
+
+    @property
+    def completion_times(self) -> list[float]:
+        return [t for t, _, c in self.points]
+
+    def completed_at(self, t: float) -> int:
+        """Instances completed by simulated time ``t``."""
+        done = 0
+        for when, _, completed in self.points:
+            if when <= t:
+                done = completed
+        return done
+
+
+@dataclass
+class ReplacementEvent:
+    """A straggler was retired in favour of a fresh/leased instance."""
+
+    bin_index: int
+    old_instance: str
+    new_instance: str
+    at_progress: float
+    observed_ratio: float
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """One detected crash (progress of the in-flight batch was lost)."""
+
+    bin_index: int
+    instance_id: str
+    at_elapsed: float          # seconds into the bin's work
+    lost_batch_units: int
+
+
+@dataclass
+class BinGrant:
+    """One bin's acquired capacity, ready to process.
+
+    ``launch_wait`` is resilience-absorbed latency (backoff, hung boots)
+    before the final boot; ``boot_delay`` is the full submission-to-work
+    latency the report carries; ``work_start`` is the absolute simulated
+    time processing begins.
+    """
+
+    index: int
+    units: list
+    instance: "Instance"
+    launch_wait: float = 0.0
+    boot_delay: float = 0.0
+    work_start: float = 0.0
+    predicted: float = 0.0
+    lease: "Lease | None" = None
+    span_extra: dict = field(default_factory=dict)
+
+
+@dataclass
+class BinOutcome:
+    """What processing one bin produced.
+
+    Exactly one of ``run`` / ``failure`` is set.  ``active`` is the
+    instance that finished the bin (a replacement after straggler or
+    crash recovery), ``active_since`` the bin-relative second it took
+    over, and ``end`` the absolute completion time the engine event
+    fires at.
+    """
+
+    run: InstanceRun | None = None
+    failure: FailedBin | None = None
+    active: "Instance | None" = None
+    active_lease: "Lease | None" = None
+    active_since: float = 0.0
+    duration: float = 0.0
+    end: float = 0.0
+
+
+@dataclass
+class CoreResult:
+    """Everything one core run produced."""
+
+    report: ExecutionReport
+    timeline: FleetTimeline
+    events: list
+
+
+@dataclass
+class CoreContext:
+    """Mutable state shared by the core and its policies during one run."""
+
+    cloud: Cloud
+    svc: ExecutionService
+    plan: ProvisioningPlan
+    workload: Workload
+    acquisition: "AcquisitionPolicy"
+    report: ExecutionReport
+    bill: bool = True
+    timeline: FleetTimeline = field(default_factory=FleetTimeline)
+    events: list = field(default_factory=list)
+    occupied: list[tuple[int, list]] = field(default_factory=list)
+    by_index: dict[int, list] = field(default_factory=dict)
+    predicted: dict[int, float] = field(default_factory=dict)
+    grants: list[BinGrant] = field(default_factory=list)
+    ends: list[float] = field(default_factory=list)
+    work_start: float = 0.0
+    working: int = 0
+    completed: int = 0
+
+    @property
+    def engine(self):
+        return self.cloud.engine
+
+    @property
+    def obs(self):
+        return self.cloud.obs
+
+
+# --------------------------------------------------------------------------
+# policy protocols
+# --------------------------------------------------------------------------
+
+
+class AcquisitionPolicy(Protocol):
+    """How instances are obtained — for the fleet and for replacements."""
+
+    def acquire_fleet(self, ctx: CoreContext) -> None:
+        """Obtain up-front capacity; record launch failures on the report."""
+
+    def work_start_time(self, ctx: CoreContext) -> float | None:
+        """Absolute time work begins, or ``None`` if there is nothing to run."""
+
+    def on_work_start(self, ctx: CoreContext) -> None:
+        """Fleet-ready hook: transition instances to RUNNING, set the rate."""
+
+    def grants(self, ctx: CoreContext) -> Iterable[BinGrant]:
+        """Yield one grant per occupied bin, in bin order."""
+
+    def replacement(self, ctx: CoreContext, *, at: float,
+                    est_seconds: float = 0.0, bin_index: int | None = None,
+                    boot_attach_penalty: float = 180.0,
+                    warm_attach_penalty: float = 30.0):
+        """Acquire a replacement instance; returns (instance, lease, penalty)."""
+
+
+class ProgressPolicy(Protocol):
+    """How one granted bin's units become a duration (and maybe events)."""
+
+    def execute(self, ctx: CoreContext, grant: BinGrant) -> BinOutcome:
+        """Process one bin; return its run-or-failure outcome."""
+        ...
+
+
+class CompletionPolicy:
+    """How outcomes are settled: billing truth, replans, wind-down.
+
+    The base class is the common shape; each runner's completion policy
+    overrides the hooks whose semantics differ (what gets billed where,
+    who terminates instances, whether the clock is the cloud's
+    outage-stepping ``advance`` or the bare engine).
+    """
+
+    def after_acquisition(self, ctx: CoreContext) -> None:
+        """Between launch and boot barrier (degradation replans live here)."""
+
+    def run_to_start(self, ctx: CoreContext, start: float,
+                     process: Callable[[], None]) -> None:
+        """Advance the clock to ``start`` with ``process`` scheduled there.
+
+        The default drives the *cloud* clock so chaos outage onsets step
+        exactly as the seed runners' ``cloud.advance`` calls did; the
+        event target is computed with the same float arithmetic the cloud
+        uses, so the callback fires at the precise post-advance clock.
+        """
+        now = ctx.cloud.now
+        if start > now:
+            seconds = start - now
+            ctx.engine.schedule_at(now + seconds, process, label="fleet-ready")
+            ctx.cloud.advance(seconds)
+        else:
+            ctx.engine.schedule_at(ctx.engine.now, process, label="fleet-ready")
+            ctx.engine.run(until=ctx.engine.now)
+
+    def settle_bin(self, ctx: CoreContext, grant: BinGrant,
+                   outcome: BinOutcome) -> None:
+        """Record the outcome on the report (subclasses add billing)."""
+        if outcome.failure is not None:
+            ctx.report.failures.append(outcome.failure)
+        else:
+            ctx.report.runs.append(outcome.run)
+
+    def on_bin_complete(self, ctx: CoreContext, grant: BinGrant,
+                        outcome: BinOutcome) -> None:
+        """Fired by the engine at the bin's completion time."""
+
+    def finalize(self, ctx: CoreContext) -> None:
+        """Advance to the horizon, terminate, emit fleet-level metrics."""
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _advance_to_horizon(self, ctx: CoreContext) -> None:
+        """Seed-exact horizon advance: ``advance(max(run durations))``."""
+        runs = ctx.report.runs
+        if runs:
+            ctx.cloud.advance(max(r.duration for r in runs))
+
+    def _emit_fleet_metrics(self, ctx: CoreContext) -> None:
+        obs = ctx.obs
+        if not obs.enabled:
+            return
+        report = ctx.report
+        obs.metrics.gauge("runner.deadline.margin", strategy=report.strategy
+                          ).set(report.deadline - report.makespan)
+        if report.n_missed:
+            obs.metrics.counter("runner.deadline.misses",
+                                strategy=report.strategy).inc(report.n_missed)
+
+
+# --------------------------------------------------------------------------
+# acquisition policies
+# --------------------------------------------------------------------------
+
+
+class FleetLaunchAcquisition:
+    """Private fleet: one (possibly resilient) launch per occupied bin.
+
+    ``on_fault="fail-bin"`` records refused launches as
+    :class:`~repro.runner.execute.FailedBin` entries (the resilience-off
+    baseline); ``on_fault="raise"`` propagates the fault, which is the
+    event-driven runner's legacy contract.  Replacements route through
+    :func:`~repro.resilience.launch.acquire_replacement` with this
+    policy's launcher and (optional) lease manager, so warm re-attach vs
+    fresh-boot penalty timing is decided in exactly one place.
+    """
+
+    def __init__(self, *, launcher: "ResilientLauncher | None" = None,
+                 lease_manager: "LeaseManager | None" = None,
+                 on_fault: str = "fail-bin",
+                 replacement_tenant: str = "runner") -> None:
+        if on_fault not in ("fail-bin", "raise"):
+            raise ValueError("on_fault must be 'fail-bin' or 'raise'")
+        self.launcher = launcher
+        self.lease_manager = lease_manager
+        self.on_fault = on_fault
+        self.replacement_tenant = replacement_tenant
+
+    def acquire_fleet(self, ctx: CoreContext) -> None:
+        """Launch one instance per occupied bin; record refused launches."""
+        from repro.resilience.launch import launch_fleet
+
+        if self.on_fault == "raise":
+            granted = [(idx, ctx.cloud.launch_instance(wait=False), 0.0)
+                       for idx, _ in ctx.occupied]
+            failed: list[tuple[int, str]] = []
+        else:
+            granted, failed = launch_fleet(
+                ctx.cloud, [i for i, _ in ctx.occupied], launcher=self.launcher)
+        for idx, reason in failed:
+            units = ctx.by_index[idx]
+            ctx.report.failures.append(FailedBin(
+                bin_index=idx, reason=reason, n_units=len(units),
+                volume=sum(u.size for u in units)))
+        ctx.grants = [
+            BinGrant(index=idx, units=ctx.by_index[idx], instance=inst,
+                     launch_wait=wait, boot_delay=wait + inst.boot_delay,
+                     predicted=ctx.predicted[idx])
+            for idx, inst, wait in granted
+        ]
+
+    def work_start_time(self, ctx: CoreContext) -> float | None:
+        """The fleet barrier: the slowest boot (plus absorbed waits)."""
+        if not ctx.grants:
+            return None
+        return max(g.instance.ready_at + g.launch_wait for g in ctx.grants)
+
+    def on_work_start(self, ctx: CoreContext) -> None:
+        """Mark every instance RUNNING and set the report's rate."""
+        for g in ctx.grants:
+            g.instance.mark_running(ctx.engine.now)
+            g.work_start = ctx.work_start
+        ctx.report.rate = ctx.grants[0].instance.itype.hourly_rate
+
+    def grants(self, ctx: CoreContext) -> Iterator[BinGrant]:
+        """Yield the up-front grants, in bin order."""
+        yield from ctx.grants
+
+    def replacement(self, ctx: CoreContext, *, at: float,
+                    est_seconds: float = 0.0, bin_index: int | None = None,
+                    boot_attach_penalty: float = 180.0,
+                    warm_attach_penalty: float = 30.0):
+        """Draw a replacement through the one shared penalty-timing path."""
+        from repro.resilience.launch import acquire_replacement
+
+        campaign = None if bin_index is None else f"bin-{bin_index}"
+        return acquire_replacement(
+            ctx.cloud, at=at, est_seconds=est_seconds,
+            lease_manager=self.lease_manager, launcher=self.launcher,
+            tenant=self.replacement_tenant, campaign=campaign,
+            boot_attach_penalty=boot_attach_penalty,
+            warm_attach_penalty=warm_attach_penalty)
+
+
+class LeaseAcquisition:
+    """Shared fleet: every bin draws (and returns) a lease from a manager.
+
+    Grants are produced lazily, one bin at a time, because releasing bin
+    *n*'s lease back to the warm pool is what lets bin *n+1* warm-hit it —
+    the acquire/run/release interleaving is part of the fleet's economics
+    and is preserved exactly.
+    """
+
+    def __init__(self, manager: "LeaseManager", *, tenant: str = "default",
+                 campaign: str | None = None) -> None:
+        self.manager = manager
+        self.tenant = tenant
+        self.campaign = campaign
+
+    def acquire_fleet(self, ctx: CoreContext) -> None:
+        """No-op: leases are drawn per bin, inside :meth:`grants`."""
+        pass  # leases are drawn per bin, inside grants()
+
+    def work_start_time(self, ctx: CoreContext) -> float | None:
+        """Leased bins start at the current simulated time."""
+        return ctx.cloud.now if ctx.occupied else None
+
+    def on_work_start(self, ctx: CoreContext) -> None:
+        """No-op: the manager marks cold boots RUNNING itself."""
+        pass  # the manager marks cold boots RUNNING itself
+
+    def grants(self, ctx: CoreContext) -> Iterator[BinGrant]:
+        """Acquire a lease per bin, lazily, so releases can be warm-hit."""
+        t0 = ctx.work_start
+        for idx, units in ctx.occupied:
+            predicted = ctx.predicted[idx]
+            lease = self.manager.acquire(self.tenant, est_seconds=predicted,
+                                         at=t0, campaign=self.campaign)
+            yield BinGrant(
+                index=idx, units=units, instance=lease.instance,
+                boot_delay=lease.ready_at - t0, work_start=lease.ready_at,
+                predicted=predicted, lease=lease,
+                span_extra={"tenant": self.tenant, "source": lease.source})
+
+    def replacement(self, ctx: CoreContext, *, at: float,
+                    est_seconds: float = 0.0, bin_index: int | None = None,
+                    boot_attach_penalty: float = 180.0,
+                    warm_attach_penalty: float = 30.0):
+        """Draw a replacement lease from the same manager."""
+        from repro.resilience.launch import acquire_replacement
+
+        campaign = self.campaign if bin_index is None else f"bin-{bin_index}"
+        return acquire_replacement(
+            ctx.cloud, at=at, est_seconds=est_seconds,
+            lease_manager=self.manager, tenant=self.tenant, campaign=campaign,
+            boot_attach_penalty=boot_attach_penalty,
+            warm_attach_penalty=warm_attach_penalty)
+
+
+# --------------------------------------------------------------------------
+# progress policies
+# --------------------------------------------------------------------------
+
+
+class RunToCompletion:
+    """The null progress policy: one measured run per bin, no monitoring."""
+
+    def execute(self, ctx: CoreContext, grant: BinGrant) -> BinOutcome:
+        """Measure the whole bin in one run; emit the task span."""
+        duration = ctx.svc.run(grant.instance, grant.units, ctx.workload,
+                               advance_clock=False)
+        run = InstanceRun(
+            instance_id=grant.instance.instance_id,
+            n_units=len(grant.units),
+            volume=sum(u.size for u in grant.units),
+            boot_delay=grant.boot_delay,
+            duration=duration,
+            predicted=grant.predicted,
+        )
+        end = grant.work_start + duration
+        obs = ctx.obs
+        if obs.enabled:
+            # Instances work in parallel off a common start, so the span is
+            # recorded retrospectively on the instance's own track.
+            obs.tracer.add_span("runner.task.run", grant.work_start, end,
+                                cat="runner", track=grant.instance.instance_id,
+                                bin=grant.index, n_units=len(grant.units),
+                                predicted=grant.predicted,
+                                strategy=ctx.report.strategy,
+                                **grant.span_extra)
+            obs.metrics.counter("runner.tasks.completed",
+                                strategy=ctx.report.strategy).inc()
+            obs.metrics.histogram("runner.task.seconds").observe(duration)
+        return BinOutcome(run=run, active=grant.instance,
+                          duration=duration, end=end)
+
+
+def _split_point(units: list, fraction: float) -> int:
+    """Index splitting ``units`` so the head holds ≈``fraction`` of bytes."""
+    total = sum(u.size for u in units)
+    if total == 0:
+        return len(units)
+    acc = 0
+    for i, u in enumerate(units):
+        acc += u.size
+        if acc >= fraction * total:
+            return i + 1
+    return len(units)
+
+
+class StragglerProgress:
+    """Probe each bin, retire measured-slow instances to a replacement.
+
+    Implements the §7 monitor-and-reschedule loop: the probe chunk's
+    observed throughput is compared to the plan's implied throughput;
+    below the policy threshold the bin's remainder moves to a replacement
+    drawn through the acquisition policy (warm lease re-attach or fresh
+    boot — one shared penalty-timing path).  The retired straggler's
+    partial hours are billed at retirement.
+    """
+
+    def __init__(self, policy) -> None:
+        self.policy = policy
+
+    def execute(self, ctx: CoreContext, grant: BinGrant) -> BinOutcome:
+        """Probe the bin; retire the instance if measured slow."""
+        from repro.chaos import ChaosError
+        from repro.resilience.launch import CapacityError
+
+        policy = self.policy
+        obs = ctx.obs
+        inst, idx, units = grant.instance, grant.index, grant.units
+        work_start, predicted = grant.work_start, grant.predicted
+
+        split = _split_point(units, policy.probe_fraction)
+        probe, rest = units[:split], units[split:]
+        probe_volume = sum(u.size for u in probe)
+        volume = sum(u.size for u in units)
+
+        t_probe = ctx.svc.run(inst, probe, ctx.workload, advance_clock=False)
+        expected_probe = predicted * (probe_volume / volume) if volume else t_probe
+        effective = max(t_probe - policy.setup_allowance, 1e-9)
+        ratio = expected_probe / effective
+        if obs.enabled:
+            obs.tracer.add_span("runner.probe.chunk", work_start,
+                                work_start + t_probe, cat="runner",
+                                track=inst.instance_id, bin=idx,
+                                observed_ratio=round(ratio, 4))
+            obs.metrics.histogram("runner.probe.ratio",
+                                  buckets=(0.25, 0.5, 0.7, 0.9, 1.0, 1.2, 2.0)
+                                  ).observe(ratio)
+
+        duration = t_probe
+        active = inst
+        active_lease = None   # set when the replacement is a fleet lease
+        active_since = 0.0  # elapsed time at which `active` started working
+        replacements = 0
+        if (
+            rest
+            and ratio < policy.slow_threshold
+            and replacements < policy.max_replacements_per_bin
+        ):
+            if policy.replace_at == "hour-boundary":
+                # §7's cheaper variant: the straggler's hour is already
+                # paid, so let it keep chewing through the bin until just
+                # before the boundary, then hand over only what remains.
+                boundary = HOUR * billed_hours(max(duration, 1.0))
+                window = boundary - duration
+                straggler_rate = probe_volume / max(t_probe, 1e-9)
+                budget = straggler_rate * window
+                done = 0
+                acc = 0
+                for u in rest:
+                    if acc + u.size > budget:
+                        break
+                    acc += u.size
+                    done += 1
+                if done:
+                    duration += ctx.svc.run(active, rest[:done], ctx.workload,
+                                            advance_clock=False)
+                    rest = rest[done:]
+            rest_volume = sum(u.size for u in rest)
+            est_rest = (predicted * (rest_volume / volume)
+                        if volume else t_probe)
+            launcher = getattr(ctx.acquisition, "launcher", None)
+            if launcher is not None:
+                # Observable feedback: this zone produced a straggler, so
+                # later acquisitions deprioritise it.
+                launcher.note_slow_zone(active.zone.name)
+            replacement = None
+            try:
+                # Warm lease: already booted inside a paid hour — only
+                # the EBS move is paid.  Cold/fresh: boot plus attach.
+                replacement, lease, penalty = ctx.acquisition.replacement(
+                    ctx, at=work_start + duration, est_seconds=est_rest,
+                    bin_index=idx,
+                    boot_attach_penalty=policy.replacement_penalty,
+                    warm_attach_penalty=policy.attach_penalty)
+            except (ChaosError, CapacityError):
+                # No replacement to be had under the installed faults:
+                # keep the straggler working (§7's "let them run"
+                # fallback) rather than fail the bin outright.
+                if obs.enabled:
+                    obs.tracer.instant("runner.replacement.unavailable",
+                                       cat="runner",
+                                       track=active.instance_id, bin=idx)
+                    obs.metrics.counter(
+                        "runner.replacements.unavailable").inc()
+            if replacement is not None:
+                # Retire the straggler; its (partial) hours are billed
+                # anyway.
+                ctx.cloud.ledger.record(active.instance_id, active.itype.name,
+                                        work_start, work_start + duration,
+                                        active.itype.hourly_rate)
+                ctx.events.append(ReplacementEvent(
+                    bin_index=idx,
+                    old_instance=active.instance_id,
+                    new_instance=replacement.instance_id,
+                    at_progress=(volume - sum(u.size for u in rest)) / volume
+                    if volume else 1.0,
+                    observed_ratio=ratio,
+                ))
+                if obs.enabled:
+                    obs.tracer.instant("runner.straggler.replaced",
+                                       cat="runner",
+                                       track=active.instance_id, bin=idx,
+                                       replacement=replacement.instance_id,
+                                       source=lease.source if lease else "boot",
+                                       observed_ratio=round(ratio, 4))
+                    obs.tracer.add_span(
+                        "runner.replacement.penalty", work_start + duration,
+                        work_start + duration + penalty,
+                        cat="runner", track=replacement.instance_id, bin=idx)
+                    obs.metrics.counter("runner.replacements",
+                                        mode=policy.replace_at,
+                                        source=lease.source if lease else "boot",
+                                        ).inc()
+                active.terminate(max(ctx.cloud.now, work_start + duration))
+                duration += penalty
+                active = replacement
+                active_lease = lease
+                active_since = duration
+                replacements += 1
+
+        if rest:
+            t_rest_start = duration
+            duration += ctx.svc.run(active, rest, ctx.workload,
+                                    advance_clock=False)
+            if obs.enabled:
+                obs.tracer.add_span("runner.task.run",
+                                    work_start + t_rest_start,
+                                    work_start + duration, cat="runner",
+                                    track=active.instance_id, bin=idx,
+                                    n_units=len(rest))
+
+        run = InstanceRun(
+            instance_id=active.instance_id,
+            n_units=len(units),
+            volume=volume,
+            boot_delay=grant.launch_wait + active.boot_delay,
+            duration=duration,
+            predicted=predicted,
+        )
+        return BinOutcome(run=run, active=active, active_lease=active_lease,
+                          active_since=active_since, duration=duration,
+                          end=work_start + duration)
+
+
+class CrashProgress:
+    """Batch each bin and redo lost batches on replacement instances.
+
+    Implements the §7 recovery loop: a crash mid-batch loses that batch's
+    progress, the monitor notices after the detection timeout, and a
+    replacement (drawn through the acquisition policy — fresh boot or
+    warm lease, one shared penalty-timing path) redoes it.  Crashed
+    instances bill their partial hours at the crash; exhausting the crash
+    budget fails the bin (or raises, per policy).
+    """
+
+    def __init__(self, policy) -> None:
+        self.policy = policy
+
+    def execute(self, ctx: CoreContext, grant: BinGrant) -> BinOutcome:
+        """Run the bin in batches, redoing any batch lost to a crash."""
+        from repro.chaos import ChaosError
+        from repro.fleet.lease import LeaseError
+        from repro.resilience.launch import CapacityError
+
+        policy = self.policy
+        obs = ctx.obs
+        inst, idx, units = grant.instance, grant.index, grant.units
+        work_start = grant.work_start
+
+        elapsed = 0.0
+        crashes = 0
+        active = inst
+        active_lease = None
+        active_started = 0.0  # elapsed at which `active` began working
+        bin_billed_hours = 0  # hours already billed to crashed instances
+        failed_bin: FailedBin | None = None
+        batches = [units[i:i + policy.batch_units]
+                   for i in range(0, len(units), policy.batch_units)]
+        b = 0
+        while b < len(batches):
+            batch = batches[b]
+            t_batch = ctx.svc.run(active, batch, ctx.workload,
+                                  advance_clock=False)
+            ttf = active.time_to_failure
+            survives = (ttf is None
+                        or elapsed - active_started + t_batch <= ttf)
+            if survives:
+                if obs.enabled:
+                    obs.tracer.add_span(
+                        "runner.batch.run", work_start + elapsed,
+                        work_start + elapsed + t_batch, cat="runner",
+                        track=active.instance_id, bin=idx, batch=b,
+                        units=len(batch))
+                    obs.metrics.counter("runner.batches.completed").inc()
+                elapsed += t_batch
+                b += 1
+                continue
+            # Crash mid-batch: progress of this batch is lost.
+            crashes += 1
+            crash_elapsed = active_started + (ttf or 0.0)
+            if crashes > policy.max_crashes_per_bin:
+                if policy.on_exhaustion == "raise":
+                    raise RuntimeError(
+                        f"bin {idx}: more than {policy.max_crashes_per_bin} "
+                        "crashes; the cloud is unusable")
+                # Report the bin as failed: the hours are billed, the
+                # completed units counted, and the campaign continues.
+                active.fail(ctx.cloud.now)
+                rec = ctx.cloud.ledger.record(active.instance_id,
+                                              active.itype.name,
+                                              work_start + active_started,
+                                              work_start + crash_elapsed,
+                                              active.itype.hourly_rate)
+                bin_billed_hours += rec.hours
+                completed = sum(len(batches[i]) for i in range(b))
+                failed_bin = FailedBin(
+                    bin_index=idx, reason="crash-exhausted",
+                    n_units=len(units),
+                    volume=sum(u.size for u in units),
+                    completed_units=completed,
+                    elapsed=crash_elapsed + policy.detection_timeout,
+                    billed_hours=bin_billed_hours)
+                if obs.enabled:
+                    obs.tracer.instant("runner.bin.failed", cat="runner",
+                                       track=active.instance_id, bin=idx,
+                                       crashes=crashes,
+                                       completed_units=completed)
+                    obs.metrics.counter("runner.bins.failed",
+                                        reason="crash-exhausted").inc()
+                break
+            ctx.events.append(CrashEvent(
+                bin_index=idx,
+                instance_id=active.instance_id,
+                at_elapsed=crash_elapsed,
+                lost_batch_units=len(batch),
+            ))
+            if obs.enabled:
+                obs.tracer.instant("runner.crash.detected", cat="runner",
+                                   track=active.instance_id, bin=idx,
+                                   lost_units=len(batch))
+                obs.tracer.add_span(
+                    "runner.crash.recovery", work_start + crash_elapsed,
+                    work_start + crash_elapsed + policy.detection_timeout
+                    + policy.replacement_penalty, cat="runner",
+                    track=active.instance_id, bin=idx)
+                obs.metrics.counter("runner.crashes.detected").inc()
+                obs.metrics.counter("runner.units.requeued").inc(len(batch))
+            elapsed = crash_elapsed + policy.detection_timeout
+            # Bill the crashed instance for the hours it actually ran (the
+            # runner tracks per-bin wall time off the global clock, so the
+            # ledger entry is written explicitly rather than via
+            # ``cloud.fail_instance``).
+            active.fail(ctx.cloud.now)
+            rec = ctx.cloud.ledger.record(active.instance_id,
+                                          active.itype.name,
+                                          work_start + active_started,
+                                          work_start + crash_elapsed,
+                                          active.itype.hourly_rate)
+            bin_billed_hours += rec.hours
+            try:
+                active, active_lease, penalty = ctx.acquisition.replacement(
+                    ctx, at=work_start + elapsed, bin_index=idx,
+                    boot_attach_penalty=policy.replacement_penalty,
+                    warm_attach_penalty=policy.attach_penalty)
+            except (ChaosError, CapacityError, LeaseError) as e:
+                completed = sum(len(batches[i]) for i in range(b))
+                failed_bin = FailedBin(
+                    bin_index=idx,
+                    reason=f"replacement-failed: {e}",
+                    n_units=len(units),
+                    volume=sum(u.size for u in units),
+                    completed_units=completed,
+                    elapsed=elapsed,
+                    billed_hours=bin_billed_hours)
+                if obs.enabled:
+                    obs.metrics.counter("runner.bins.failed",
+                                        reason="replacement-failed").inc()
+                break
+            elapsed += penalty
+            active_started = elapsed
+            # loop re-runs batch ``b`` on the replacement
+
+        if failed_bin is not None:
+            return BinOutcome(failure=failed_bin, active=active,
+                              duration=failed_bin.elapsed)
+        run = InstanceRun(
+            instance_id=active.instance_id,
+            n_units=len(units),
+            volume=sum(u.size for u in units),
+            boot_delay=grant.launch_wait + inst.boot_delay,
+            duration=elapsed,
+            predicted=grant.predicted,
+        )
+        return BinOutcome(run=run, active=active, active_lease=active_lease,
+                          active_since=active_started, duration=elapsed,
+                          end=work_start + elapsed)
+
+
+# --------------------------------------------------------------------------
+# completion policies
+# --------------------------------------------------------------------------
+
+
+class StaticCompletion(CompletionPolicy):
+    """``execute_plan`` semantics: ceil-hour bill per bin, replans, S3 pull."""
+
+    def __init__(self, *, measure_retrieval: bool = False) -> None:
+        self.measure_retrieval = measure_retrieval
+
+    def after_acquisition(self, ctx: CoreContext) -> None:
+        """Re-pack orphaned units onto survivors (degradation replan)."""
+        launcher = getattr(ctx.acquisition, "launcher", None)
+        if not (ctx.report.failures and ctx.grants and launcher is not None
+                and launcher.degradation is not None):
+            return
+        # Graceful degradation: spread the orphaned units over the bins
+        # that did get instances, scaling their predicted times so the
+        # probe/miss logic still has a meaningful baseline.
+        orphans = [u for f in ctx.report.failures
+                   for u in ctx.by_index[f.bin_index]]
+        replan = launcher.degradation.replan(
+            [g.units for g in ctx.grants], orphans,
+            predicted_times=[g.predicted for g in ctx.grants])
+        for g, merged, t in zip(ctx.grants, replan.assignments,
+                                replan.predicted_times):
+            g.units = list(merged)
+            ctx.by_index[g.index] = g.units
+            g.predicted = t
+            ctx.predicted[g.index] = t
+        ctx.report.failures = [
+            FailedBin(f.bin_index, f.reason, f.n_units, f.volume,
+                      absorbed=True)
+            for f in ctx.report.failures
+        ]
+        if ctx.obs.enabled:
+            ctx.obs.tracer.instant("resilience.degradation.replan",
+                                   cat="resilience", moved=replan.moved_units,
+                                   survivors=len(ctx.grants))
+            ctx.obs.metrics.counter("resilience.replans").inc()
+
+    def settle_bin(self, ctx: CoreContext, grant: BinGrant,
+                   outcome: BinOutcome) -> None:
+        """Record the outcome; bill the whole bin span ceil-hour."""
+        super().settle_bin(ctx, grant, outcome)
+        if outcome.run is not None and ctx.bill:
+            inst = grant.instance
+            ctx.cloud.ledger.record(inst.instance_id, inst.itype.name,
+                                    grant.work_start, outcome.end,
+                                    inst.itype.hourly_rate)
+
+    def finalize(self, ctx: CoreContext) -> None:
+        """Advance to the horizon, terminate, emit metrics, measure S3."""
+        self._advance_to_horizon(ctx)
+        for g in ctx.grants:
+            g.instance.terminate(ctx.cloud.now)
+        self._emit_fleet_metrics(ctx)
+        if self.measure_retrieval and ctx.report.runs:
+            # Each processed unit file yields one result object in S3; the
+            # §1 retrieval advantage of reshaping comes from this object
+            # count.
+            plan, cloud = ctx.plan, ctx.cloud
+            meta_by_run: list[tuple[str, int]] = []
+            for g in ctx.grants:
+                for j, unit in enumerate(g.units):
+                    key = f"results/{plan.strategy}/{g.instance.instance_id}/{j}"
+                    # result size ~ proportional to the unit's input size
+                    cloud.s3.put(key, max(1, unit.size // 100))
+                    meta_by_run.append((key, unit.size))
+            rng = cloud.rng.fork(f"retrieval.{plan.strategy}.{len(meta_by_run)}")
+            ctx.report.retrieval_seconds = cloud.s3.retrieval_time(
+                [k for k, _ in meta_by_run], rng)
+
+
+class EventCompletion(CompletionPolicy):
+    """``execute_plan_event_driven`` semantics: the bare engine clock.
+
+    The seed event runner never touched ``cloud.advance`` (so no chaos
+    outage stepping) and terminated each instance inside its completion
+    event; both behaviours are preserved here.
+    """
+
+    def run_to_start(self, ctx: CoreContext, start: float,
+                     process: Callable[[], None]) -> None:
+        """Drive the bare engine (no outage stepping) to the barrier."""
+        ctx.engine.schedule_at(start, process, label="fleet-ready")
+        ctx.engine.run()
+
+    def settle_bin(self, ctx: CoreContext, grant: BinGrant,
+                   outcome: BinOutcome) -> None:
+        """Record the outcome; bill the bin span ceil-hour."""
+        super().settle_bin(ctx, grant, outcome)
+        if outcome.run is not None and ctx.bill:
+            inst = grant.instance
+            ctx.cloud.ledger.record(inst.instance_id, inst.itype.name,
+                                    grant.work_start, outcome.end,
+                                    inst.itype.hourly_rate)
+
+    def on_bin_complete(self, ctx: CoreContext, grant: BinGrant,
+                        outcome: BinOutcome) -> None:
+        """Terminate the instance inside its own completion event."""
+        outcome.active.terminate(ctx.engine.now)
+
+    def finalize(self, ctx: CoreContext) -> None:
+        """Emit fleet-level metrics (the engine already drained)."""
+        self._emit_fleet_metrics(ctx)
+
+
+class MonitoredCompletion(CompletionPolicy):
+    """``execute_with_monitoring`` semantics: bill only the active span.
+
+    The retired straggler was billed at retirement (inside the progress
+    policy); the finishing instance is billed for the span it actually
+    worked — unless it is a leased replacement, which returns to the warm
+    pool and is billed by the lease manager at retirement.
+    """
+
+    def __init__(self, *, lease_manager: "LeaseManager | None" = None) -> None:
+        self.lease_manager = lease_manager
+
+    def settle_bin(self, ctx: CoreContext, grant: BinGrant,
+                   outcome: BinOutcome) -> None:
+        """Bill (or release) only the finishing instance's active span."""
+        super().settle_bin(ctx, grant, outcome)
+        if outcome.run is None:
+            return
+        active = outcome.active
+        if outcome.active_lease is not None:
+            self.lease_manager.release(outcome.active_lease, outcome.end)
+        else:
+            ctx.cloud.ledger.record(active.instance_id, active.itype.name,
+                                    grant.work_start + outcome.active_since,
+                                    outcome.end, active.itype.hourly_rate)
+
+    def finalize(self, ctx: CoreContext) -> None:
+        """Advance, terminate non-leased instances, emit metrics."""
+        self._advance_to_horizon(ctx)
+        for inst in ctx.cloud.running_instances():
+            if (self.lease_manager is not None
+                    and self.lease_manager.owns(inst.instance_id)):
+                continue
+            inst.terminate(ctx.cloud.now)
+        self._emit_fleet_metrics(ctx)
+
+
+class CrashCompletion(CompletionPolicy):
+    """``execute_fault_tolerant`` semantics: the survivor bills the bin.
+
+    The finishing instance is billed for the *whole* bin span — crash
+    detection and replacement penalties included — on top of the partial
+    hours the crashed predecessors already billed; that is the seed
+    runner's (conservative) billing truth and it is preserved.  A leased
+    replacement is instead released back to the pool, where the manager
+    settles its bill at retirement.
+    """
+
+    def __init__(self, *, lease_manager: "LeaseManager | None" = None) -> None:
+        self.lease_manager = lease_manager
+
+    def settle_bin(self, ctx: CoreContext, grant: BinGrant,
+                   outcome: BinOutcome) -> None:
+        """Bill (or release) the survivor for the whole bin span."""
+        super().settle_bin(ctx, grant, outcome)
+        if outcome.run is None:
+            return
+        active = outcome.active
+        if outcome.active_lease is not None:
+            self.lease_manager.release(outcome.active_lease, outcome.end)
+        else:
+            ctx.cloud.ledger.record(active.instance_id, active.itype.name,
+                                    grant.work_start, outcome.end,
+                                    active.itype.hourly_rate)
+
+    def finalize(self, ctx: CoreContext) -> None:
+        """Advance, terminate non-leased instances, emit metrics."""
+        self._advance_to_horizon(ctx)
+        for inst in ctx.cloud.running_instances():
+            if (self.lease_manager is not None
+                    and self.lease_manager.owns(inst.instance_id)):
+                continue
+            inst.terminate(ctx.cloud.now)
+        self._emit_fleet_metrics(ctx)
+
+
+class LeaseCompletion(CompletionPolicy):
+    """``execute_on_fleet`` semantics: the manager owns billing truth."""
+
+    def __init__(self, manager: "LeaseManager") -> None:
+        self.manager = manager
+
+    def settle_bin(self, ctx: CoreContext, grant: BinGrant,
+                   outcome: BinOutcome) -> None:
+        """Release the lease, annotate the plan, record the run."""
+        lease = grant.lease
+        self.manager.release(lease, outcome.end)
+        ctx.plan.annotate_lease(grant.index, lease.source, lease.lease_id)
+        ctx.report.rate = lease.instance.itype.hourly_rate
+        super().settle_bin(ctx, grant, outcome)
+
+    def finalize(self, ctx: CoreContext) -> None:
+        """Advance to the lease horizon and emit fleet-level metrics."""
+        if ctx.ends:
+            horizon = max(ctx.ends)
+            if horizon > ctx.cloud.now:
+                ctx.cloud.advance(horizon - ctx.cloud.now)
+        self._emit_fleet_metrics(ctx)
+
+
+# --------------------------------------------------------------------------
+# the core
+# --------------------------------------------------------------------------
+
+
+class ExecutionCore:
+    """Run a :class:`ProvisioningPlan` under a policy triple.
+
+    One event-driven loop: acquisition obtains capacity, the fleet-ready
+    barrier is an engine event, every bin's processing schedules a
+    completion event (feeding the :class:`FleetTimeline`), and the
+    completion policy settles billing and winds the fleet down.
+    """
+
+    def __init__(
+        self,
+        cloud: Cloud,
+        workload: Workload,
+        plan: ProvisioningPlan,
+        *,
+        acquisition: AcquisitionPolicy,
+        progress: ProgressPolicy,
+        completion: CompletionPolicy,
+        service: ExecutionService | None = None,
+        strategy: str | None = None,
+        bill: bool = True,
+    ) -> None:
+        self.cloud = cloud
+        self.workload = workload
+        self.plan = plan
+        self.acquisition = acquisition
+        self.progress = progress
+        self.completion = completion
+        self.service = service
+        self.strategy = strategy if strategy is not None else plan.strategy
+        self.bill = bill
+
+    def run(self) -> CoreResult:
+        """Execute the plan under the policy triple; return everything."""
+        plan = self.plan
+        ctx = CoreContext(
+            cloud=self.cloud,
+            svc=self.service or ExecutionService(self.cloud),
+            plan=plan,
+            workload=self.workload,
+            acquisition=self.acquisition,
+            report=ExecutionReport(deadline=plan.deadline,
+                                   strategy=self.strategy),
+            bill=self.bill,
+        )
+        ctx.occupied = [(i, list(units))
+                        for i, units in enumerate(plan.assignments) if units]
+        ctx.by_index = dict(ctx.occupied)
+        ctx.predicted = {
+            idx: (plan.predicted_times[idx] if idx < len(plan.predicted_times)
+                  else 0.0)
+            for idx, _ in ctx.occupied
+        }
+
+        self.acquisition.acquire_fleet(ctx)
+        self.completion.after_acquisition(ctx)
+        start = self.acquisition.work_start_time(ctx)
+        if start is not None:
+            self.completion.run_to_start(ctx, start,
+                                         lambda: self._process(ctx))
+        self.completion.finalize(ctx)
+        return CoreResult(report=ctx.report, timeline=ctx.timeline,
+                          events=ctx.events)
+
+    # -- the one processing loop ------------------------------------------
+
+    def _process(self, ctx: CoreContext) -> None:
+        """Fleet-ready event: process every bin, schedule its completion."""
+        ctx.work_start = ctx.engine.now
+        self.acquisition.on_work_start(ctx)
+        for grant in self.acquisition.grants(ctx):
+            outcome = self.progress.execute(ctx, grant)
+            self.completion.settle_bin(ctx, grant, outcome)
+            if outcome.run is not None:
+                ctx.working += 1
+                self._schedule_completion(ctx, grant, outcome)
+
+    def _schedule_completion(self, ctx: CoreContext, grant: BinGrant,
+                             outcome: BinOutcome) -> None:
+        def complete() -> None:
+            ctx.working -= 1
+            ctx.completed += 1
+            ctx.timeline.record(ctx.engine.now, ctx.working, ctx.completed)
+            self.completion.on_bin_complete(ctx, grant, outcome)
+
+        ctx.ends.append(outcome.end)
+        ctx.engine.schedule_at(
+            outcome.end, complete,
+            label=f"complete:{outcome.run.instance_id}")

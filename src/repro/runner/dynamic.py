@@ -11,25 +11,28 @@ instances can be done easily without explicit data transfers."
 The §3.1 arithmetic this implements: a slow instance reading 60 MB/s could
 process ≈210 GB in its next hour; swapping to a likely-fast instance costs
 a ≈3 min boot+attach penalty yet still gains ≈57 GB of extra progress.
+
+The monitoring loop itself is :class:`~repro.runner.core.StragglerProgress`
+inside the shared :class:`~repro.runner.core.ExecutionCore`; this module
+owns the policy knobs and the entry-point signature.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.cloud.cluster import Cloud
 from repro.cloud.service import ExecutionService, Workload
 from repro.core.planner import ProvisioningPlan
-from repro.runner.execute import ExecutionReport, FailedBin, InstanceRun
-from repro.units import HOUR
+from repro.runner.core import ReplacementEvent, _split_point  # noqa: F401  (re-export)
+from repro.runner.execute import ExecutionReport
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.fleet.lease import LeaseManager
     from repro.resilience.launch import ResilientLauncher
 
-__all__ = ["DynamicPolicy", "execute_with_monitoring"]
+__all__ = ["DynamicPolicy", "ReplacementEvent", "execute_with_monitoring"]
 
 
 @dataclass(frozen=True)
@@ -76,28 +79,6 @@ class DynamicPolicy:
             raise ValueError("replace_at must be 'immediately' or 'hour-boundary'")
 
 
-@dataclass
-class ReplacementEvent:
-    bin_index: int
-    old_instance: str
-    new_instance: str
-    at_progress: float
-    observed_ratio: float
-
-
-def _split_point(units: list, fraction: float) -> int:
-    """Index splitting ``units`` so the head holds ≈``fraction`` of bytes."""
-    total = sum(u.size for u in units)
-    if total == 0:
-        return len(units)
-    acc = 0
-    for i, u in enumerate(units):
-        acc += u.size
-        if acc >= fraction * total:
-            return i + 1
-    return len(units)
-
-
 def execute_with_monitoring(
     cloud: Cloud,
     workload: Workload,
@@ -131,186 +112,22 @@ def execute_with_monitoring(
     launcher is also fed ``note_slow_zone`` on each replacement, so
     measured-slow zones are deprioritised for later acquisitions.
     """
-    from repro.chaos import ChaosError
-    from repro.resilience.launch import CapacityError, acquire_replacement, launch_fleet
+    from repro.runner.core import (
+        ExecutionCore,
+        FleetLaunchAcquisition,
+        MonitoredCompletion,
+        StragglerProgress,
+    )
 
-    policy = policy or DynamicPolicy()
-    svc = service or ExecutionService(cloud)
-    obs = cloud.obs
-    report = ExecutionReport(deadline=plan.deadline, strategy=f"{plan.strategy}+dynamic")
-    events: list[ReplacementEvent] = []
-
-    occupied = [(i, list(units)) for i, units in enumerate(plan.assignments) if units]
-    by_index = dict(occupied)
-    granted, failed_launches = launch_fleet(cloud, [i for i, _ in occupied],
-                                            launcher=launcher)
-    for idx, reason in failed_launches:
-        units = by_index[idx]
-        report.failures.append(FailedBin(
-            bin_index=idx, reason=reason, n_units=len(units),
-            volume=sum(u.size for u in units)))
-    instances = [inst for _, inst, _ in granted]
-    if instances:
-        latest = max(inst.ready_at + wait for _, inst, wait in granted)
-        if latest > cloud.now:
-            cloud.advance(latest - cloud.now)
-        for inst in instances:
-            inst.mark_running(cloud.now)
-        report.rate = instances[0].itype.hourly_rate
-
-    work_start = cloud.now
-    runs: list[InstanceRun] = []
-    for idx, inst, launch_wait in granted:
-        units = by_index[idx]
-        predicted = plan.predicted_times[idx] if idx < len(plan.predicted_times) else 0.0
-        split = _split_point(units, policy.probe_fraction)
-        probe, rest = units[:split], units[split:]
-        probe_volume = sum(u.size for u in probe)
-        volume = sum(u.size for u in units)
-
-        t_probe = svc.run(inst, probe, workload, advance_clock=False)
-        expected_probe = predicted * (probe_volume / volume) if volume else t_probe
-        effective = max(t_probe - policy.setup_allowance, 1e-9)
-        ratio = expected_probe / effective
-        if obs.enabled:
-            obs.tracer.add_span("runner.probe.chunk", work_start,
-                                work_start + t_probe, cat="runner",
-                                track=inst.instance_id, bin=idx,
-                                observed_ratio=round(ratio, 4))
-            obs.metrics.histogram("runner.probe.ratio",
-                                  buckets=(0.25, 0.5, 0.7, 0.9, 1.0, 1.2, 2.0)
-                                  ).observe(ratio)
-
-        duration = t_probe
-        active = inst
-        active_lease = None   # set when the replacement is a fleet lease
-        active_since = 0.0  # elapsed time at which `active` started working
-        replacements = 0
-        if (
-            rest
-            and ratio < policy.slow_threshold
-            and replacements < policy.max_replacements_per_bin
-        ):
-            if policy.replace_at == "hour-boundary":
-                # §7's cheaper variant: the straggler's hour is already
-                # paid, so let it keep chewing through the bin until just
-                # before the boundary, then hand over only what remains.
-                boundary = HOUR * math.ceil(max(duration, 1.0) / HOUR)
-                window = boundary - duration
-                straggler_rate = probe_volume / max(t_probe, 1e-9)
-                budget = straggler_rate * window
-                done = 0
-                acc = 0
-                for u in rest:
-                    if acc + u.size > budget:
-                        break
-                    acc += u.size
-                    done += 1
-                if done:
-                    duration += svc.run(active, rest[:done], workload,
-                                        advance_clock=False)
-                    rest = rest[done:]
-            rest_volume = sum(u.size for u in rest)
-            est_rest = (predicted * (rest_volume / volume)
-                        if volume else t_probe)
-            if launcher is not None:
-                # Observable feedback: this zone produced a straggler, so
-                # later acquisitions deprioritise it.
-                launcher.note_slow_zone(active.zone.name)
-            replacement = None
-            try:
-                # Warm lease: already booted inside a paid hour — only
-                # the EBS move is paid.  Cold/fresh: boot plus attach.
-                replacement, lease, penalty = acquire_replacement(
-                    cloud, at=work_start + duration, est_seconds=est_rest,
-                    lease_manager=lease_manager, launcher=launcher,
-                    tenant="dynamic", campaign=f"bin-{idx}",
-                    boot_attach_penalty=policy.replacement_penalty,
-                    warm_attach_penalty=policy.attach_penalty)
-            except (ChaosError, CapacityError):
-                # No replacement to be had under the installed faults:
-                # keep the straggler working (§7's "let them run"
-                # fallback) rather than fail the bin outright.
-                if obs.enabled:
-                    obs.tracer.instant("runner.replacement.unavailable",
-                                       cat="runner",
-                                       track=active.instance_id, bin=idx)
-                    obs.metrics.counter(
-                        "runner.replacements.unavailable").inc()
-            if replacement is not None:
-                # Retire the straggler; its (partial) hours are billed
-                # anyway.
-                cloud.ledger.record(active.instance_id, active.itype.name,
-                                    work_start, work_start + duration,
-                                    active.itype.hourly_rate)
-                events.append(ReplacementEvent(
-                    bin_index=idx,
-                    old_instance=active.instance_id,
-                    new_instance=replacement.instance_id,
-                    at_progress=(volume - sum(u.size for u in rest)) / volume
-                    if volume else 1.0,
-                    observed_ratio=ratio,
-                ))
-                if obs.enabled:
-                    obs.tracer.instant("runner.straggler.replaced",
-                                       cat="runner",
-                                       track=active.instance_id, bin=idx,
-                                       replacement=replacement.instance_id,
-                                       source=lease.source if lease else "boot",
-                                       observed_ratio=round(ratio, 4))
-                    obs.tracer.add_span(
-                        "runner.replacement.penalty", work_start + duration,
-                        work_start + duration + penalty,
-                        cat="runner", track=replacement.instance_id, bin=idx)
-                    obs.metrics.counter("runner.replacements",
-                                        mode=policy.replace_at,
-                                        source=lease.source if lease else "boot",
-                                        ).inc()
-                active.terminate(max(cloud.now, work_start + duration))
-                duration += penalty
-                active = replacement
-                active_lease = lease
-                active_since = duration
-                replacements += 1
-
-        if rest:
-            t_rest_start = duration
-            duration += svc.run(active, rest, workload, advance_clock=False)
-            if obs.enabled:
-                obs.tracer.add_span("runner.task.run",
-                                    work_start + t_rest_start,
-                                    work_start + duration, cat="runner",
-                                    track=active.instance_id, bin=idx,
-                                    n_units=len(rest))
-
-        runs.append(InstanceRun(
-            instance_id=active.instance_id,
-            n_units=len(units),
-            volume=volume,
-            boot_delay=launch_wait + active.boot_delay,
-            duration=duration,
-            predicted=predicted,
-        ))
-        # Bill the currently-active instance only for the span it worked
-        # (the retired straggler's span was billed at retirement).  A
-        # leased replacement instead returns to the warm pool: its bill is
-        # settled when the lease manager retires it.
-        if active_lease is not None:
-            lease_manager.release(active_lease, work_start + duration)
-        else:
-            cloud.ledger.record(active.instance_id, active.itype.name,
-                                work_start + active_since,
-                                work_start + duration,
-                                active.itype.hourly_rate)
-
-    report.runs = runs
-    if runs:
-        cloud.advance(max(r.duration for r in runs))
-    for inst in cloud.running_instances():
-        if lease_manager is not None and lease_manager.owns(inst.instance_id):
-            continue
-        inst.terminate(cloud.now)
-    if obs.enabled:
-        obs.metrics.gauge("runner.deadline.margin", strategy=report.strategy
-                          ).set(report.deadline - report.makespan)
-    return report, events
+    core = ExecutionCore(
+        cloud, workload, plan,
+        acquisition=FleetLaunchAcquisition(
+            launcher=launcher, lease_manager=lease_manager,
+            replacement_tenant="dynamic"),
+        progress=StragglerProgress(policy or DynamicPolicy()),
+        completion=MonitoredCompletion(lease_manager=lease_manager),
+        service=service,
+        strategy=f"{plan.strategy}+dynamic",
+    )
+    result = core.run()
+    return result.report, result.events

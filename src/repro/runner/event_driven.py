@@ -1,53 +1,35 @@
 """Event-driven plan execution — the same semantics on the event engine.
 
-:func:`repro.runner.execute.execute_plan` computes per-instance timelines
-arithmetically; this runner schedules the identical launches, boots and
-completions as discrete events on the cloud's
-:class:`~repro.sim.engine.SimulationEngine`.  Both paths must agree
-exactly (``tests/test_event_driven.py`` checks bit-equality of durations,
-makespan and misses) — a differential oracle for the engine and the
-runner.
+:func:`repro.runner.execute.execute_plan` settles billing and the clock
+through the cloud's outage-stepping ``advance``; this runner drives the
+bare :class:`~repro.sim.engine.SimulationEngine` directly and terminates
+each instance inside its own completion event.  Both are policy
+configurations of the same :class:`~repro.runner.core.ExecutionCore`, and
+both must agree exactly (``tests/test_event_driven.py`` checks
+bit-equality of durations, makespan and misses) — a differential oracle
+for the engine and the core.
 
-The event form also yields what the arithmetic form cannot: a global
-*fleet timeline* — progress snapshots at event granularity (instances
-running / completed over simulated time), the raw material for Gantt-style
-reporting.
+The :class:`~repro.runner.core.FleetTimeline` (progress snapshots at
+event granularity — the raw material for Gantt-style reporting) is now
+produced by the core for *every* runner; this entry point returns it
+explicitly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.cloud.cluster import Cloud
 from repro.cloud.service import ExecutionService, Workload
 from repro.core.planner import ProvisioningPlan
-from repro.runner.execute import ExecutionReport, InstanceRun
+from repro.runner.core import (
+    EventCompletion,
+    ExecutionCore,
+    FleetLaunchAcquisition,
+    FleetTimeline,
+    RunToCompletion,
+)
+from repro.runner.execute import ExecutionReport
 
 __all__ = ["FleetTimeline", "execute_plan_event_driven"]
-
-
-@dataclass
-class FleetTimeline:
-    """Progress snapshots collected as completion events fire."""
-
-    points: list[tuple[float, int, int]] = field(default_factory=list)
-    # (simulated time, instances still working, instances completed)
-
-    def record(self, t: float, working: int, completed: int) -> None:
-        """Append one snapshot."""
-        self.points.append((t, working, completed))
-
-    @property
-    def completion_times(self) -> list[float]:
-        return [t for t, _, c in self.points]
-
-    def completed_at(self, t: float) -> int:
-        """Instances completed by simulated time ``t``."""
-        done = 0
-        for when, _, completed in self.points:
-            if when <= t:
-                done = completed
-        return done
 
 
 def execute_plan_event_driven(
@@ -62,59 +44,17 @@ def execute_plan_event_driven(
 
     Launch, measurement and billing orders match the arithmetic runner
     call-for-call, so every deterministic draw is identical and the two
-    runners are directly comparable.
+    runners are directly comparable.  Launch faults propagate
+    (``on_fault="raise"``) — this runner predates the resilience layer
+    and keeps its legacy contract.
     """
-    svc = service or ExecutionService(cloud)
-    report = ExecutionReport(deadline=plan.deadline, strategy=plan.strategy)
-    timeline = FleetTimeline()
-    occupied = [(i, units) for i, units in enumerate(plan.assignments) if units]
-
-    instances = [cloud.launch_instance(wait=False) for _ in occupied]
-    if not instances:
-        return report, timeline
-    report.rate = instances[0].itype.hourly_rate
-
-    engine = cloud.engine
-    state = {"working": 0, "completed": 0}
-    runs_by_index: dict[int, InstanceRun] = {}
-
-    # Fleet barrier: work starts when the slowest boot completes (same
-    # semantics as the arithmetic runner).
-    fleet_ready = max(i.ready_at for i in instances)
-
-    def start_fleet() -> None:
-        work_start = engine.now
-        for inst, (idx, units) in zip(instances, occupied):
-            inst.mark_running(engine.now)
-            duration = svc.run(inst, units, workload, advance_clock=False)
-            predicted = (plan.predicted_times[idx]
-                         if idx < len(plan.predicted_times) else 0.0)
-            run = InstanceRun(
-                instance_id=inst.instance_id,
-                n_units=len(units),
-                volume=sum(u.size for u in units),
-                boot_delay=inst.boot_delay,
-                duration=duration,
-                predicted=predicted,
-            )
-            runs_by_index[idx] = run
-            state["working"] += 1
-            if bill:
-                cloud.ledger.record(inst.instance_id, inst.itype.name,
-                                    work_start, work_start + duration,
-                                    inst.itype.hourly_rate)
-
-            def complete(inst=inst, run=run) -> None:
-                state["working"] -= 1
-                state["completed"] += 1
-                timeline.record(engine.now, state["working"], state["completed"])
-                inst.terminate(engine.now)
-
-            engine.schedule_at(work_start + duration, complete,
-                               label=f"complete:{inst.instance_id}")
-
-    engine.schedule_at(fleet_ready, start_fleet, label="fleet-ready")
-    engine.run()
-
-    report.runs = [runs_by_index[idx] for idx, _ in occupied]
-    return report, timeline
+    core = ExecutionCore(
+        cloud, workload, plan,
+        acquisition=FleetLaunchAcquisition(on_fault="raise"),
+        progress=RunToCompletion(),
+        completion=EventCompletion(),
+        service=service,
+        bill=bill,
+    )
+    result = core.run()
+    return result.report, result.timeline

@@ -4,11 +4,15 @@ Instances work independently; the report gives per-instance execution
 times (what Figs. 8–9 plot against the deadline line), the makespan, and
 the ceil-hour instance bill.  Instance launches and per-run measurement
 noise come from the cloud's deterministic streams.
+
+This module owns the result shapes every runner shares
+(:class:`InstanceRun`, :class:`FailedBin`, :class:`ExecutionReport`); the
+execution loop itself lives in :mod:`repro.runner.core`, and
+:func:`execute_plan` is one policy configuration of it.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 from typing import TYPE_CHECKING
@@ -16,7 +20,7 @@ from typing import TYPE_CHECKING
 from repro.cloud.cluster import Cloud
 from repro.cloud.service import ExecutionService, Workload
 from repro.core.planner import ProvisioningPlan
-from repro.units import HOUR
+from repro.units import billed_hours
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.resilience.launch import ResilientLauncher
@@ -37,7 +41,7 @@ class InstanceRun:
 
     @property
     def billed_hours(self) -> int:
-        return max(1, math.ceil(self.duration / HOUR))
+        return billed_hours(self.duration)
 
     def missed(self, deadline: float, *, include_boot: bool = False) -> bool:
         """Did this instance exceed the deadline?"""
@@ -151,116 +155,19 @@ def execute_plan(
     launcher carries a :class:`~repro.resilience.degrade.DegradationPlanner`,
     their units are re-packed onto the surviving bins instead of dropped.
     """
-    from repro.resilience.launch import launch_fleet
+    from repro.runner.core import (
+        ExecutionCore,
+        FleetLaunchAcquisition,
+        RunToCompletion,
+        StaticCompletion,
+    )
 
-    svc = service or ExecutionService(cloud)
-    obs = cloud.obs
-    report = ExecutionReport(deadline=plan.deadline, strategy=plan.strategy)
-    occupied = [(i, list(units)) for i, units in enumerate(plan.assignments) if units]
-    by_index = dict(occupied)
-
-    # All instances are requested together and boot in parallel.
-    granted, failed = launch_fleet(cloud, [i for i, _ in occupied],
-                                   launcher=launcher)
-    for idx, reason in failed:
-        units = by_index[idx]
-        report.failures.append(FailedBin(
-            bin_index=idx, reason=reason, n_units=len(units),
-            volume=sum(u.size for u in units)))
-
-    predicted_by_index = {
-        idx: (plan.predicted_times[idx] if idx < len(plan.predicted_times)
-              else 0.0)
-        for idx, _ in occupied
-    }
-    if (failed and granted and launcher is not None
-            and launcher.degradation is not None):
-        # Graceful degradation: spread the orphaned units over the bins
-        # that did get instances, scaling their predicted times so the
-        # probe/miss logic still has a meaningful baseline.
-        orphans = [u for idx, _ in failed for u in by_index[idx]]
-        replan = launcher.degradation.replan(
-            [by_index[idx] for idx, _, _ in granted], orphans,
-            predicted_times=[predicted_by_index[idx] for idx, _, _ in granted])
-        for (idx, _, _), merged, t in zip(granted, replan.assignments,
-                                          replan.predicted_times):
-            by_index[idx] = list(merged)
-            predicted_by_index[idx] = t
-        report.failures = [
-            FailedBin(f.bin_index, f.reason, f.n_units, f.volume,
-                      absorbed=True)
-            for f in report.failures
-        ]
-        if obs.enabled:
-            obs.tracer.instant("resilience.degradation.replan",
-                               cat="resilience", moved=replan.moved_units,
-                               survivors=len(granted))
-            obs.metrics.counter("resilience.replans").inc()
-
-    instances = [inst for _, inst, _ in granted]
-    waits = {inst.instance_id: w for _, inst, w in granted}
-    if instances:
-        latest_ready = max(i.ready_at + waits[i.instance_id]
-                           for i in instances)
-        if latest_ready > cloud.now:
-            cloud.advance(latest_ready - cloud.now)
-        for inst in instances:
-            inst.mark_running(cloud.now)
-        report.rate = instances[0].itype.hourly_rate
-
-    runs: list[InstanceRun] = []
-    work_start = cloud.now
-    for idx, inst, wait in granted:
-        units = by_index[idx]
-        duration = svc.run(inst, units, workload, advance_clock=False)
-        predicted = predicted_by_index[idx]
-        runs.append(InstanceRun(
-            instance_id=inst.instance_id,
-            n_units=len(units),
-            volume=sum(u.size for u in units),
-            boot_delay=wait + inst.boot_delay,
-            duration=duration,
-            predicted=predicted,
-        ))
-        if obs.enabled:
-            # Instances work in parallel off a common start, so the span is
-            # recorded retrospectively on the instance's own track.
-            obs.tracer.add_span("runner.task.run", work_start,
-                                work_start + duration, cat="runner",
-                                track=inst.instance_id, bin=idx,
-                                n_units=len(units), predicted=predicted,
-                                strategy=plan.strategy)
-            obs.metrics.counter("runner.tasks.completed",
-                                strategy=plan.strategy).inc()
-            obs.metrics.histogram("runner.task.seconds").observe(duration)
-        if bill:
-            cloud.ledger.record(inst.instance_id, inst.itype.name,
-                                work_start, work_start + duration,
-                                inst.itype.hourly_rate)
-    report.runs = runs
-    if runs:
-        cloud.advance(max(r.duration for r in runs))
-    for inst in instances:
-        inst.terminate(cloud.now)
-    if obs.enabled:
-        # Positive margin = the whole fleet beat the deadline.
-        obs.metrics.gauge("runner.deadline.margin", strategy=plan.strategy
-                          ).set(report.deadline - report.makespan)
-        if report.n_missed:
-            obs.metrics.counter("runner.deadline.misses",
-                                strategy=plan.strategy).inc(report.n_missed)
-
-    if measure_retrieval and runs:
-        # Each processed unit file yields one result object in S3; the
-        # §1 retrieval advantage of reshaping comes from this object count.
-        meta_by_run: list[tuple[str, int]] = []
-        for idx, inst, _ in granted:
-            for j, unit in enumerate(by_index[idx]):
-                key = f"results/{plan.strategy}/{inst.instance_id}/{j}"
-                # result size ~ proportional to the unit's input size
-                cloud.s3.put(key, max(1, unit.size // 100))
-                meta_by_run.append((key, unit.size))
-        rng = cloud.rng.fork(f"retrieval.{plan.strategy}.{len(meta_by_run)}")
-        report.retrieval_seconds = cloud.s3.retrieval_time(
-            [k for k, _ in meta_by_run], rng)
-    return report
+    core = ExecutionCore(
+        cloud, workload, plan,
+        acquisition=FleetLaunchAcquisition(launcher=launcher),
+        progress=RunToCompletion(),
+        completion=StaticCompletion(measure_retrieval=measure_retrieval),
+        service=service,
+        bill=bill,
+    )
+    return core.run().report

@@ -6,19 +6,25 @@ batches; a crash mid-batch loses that batch's progress, the monitor
 notices after a detection timeout, and a replacement instance (EBS
 re-attach, no data copy) redoes the lost batch and continues.  Every
 instance that ran — including crashed ones — bills its ceil-hours.
+
+The recovery loop itself is :class:`~repro.runner.core.CrashProgress`
+inside the shared :class:`~repro.runner.core.ExecutionCore`; this module
+owns the policy knobs and the entry-point signature.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.cloud.cluster import Cloud
 from repro.cloud.service import ExecutionService, Workload
 from repro.core.planner import ProvisioningPlan
-from repro.runner.execute import ExecutionReport, FailedBin, InstanceRun
+from repro.runner.core import CrashEvent  # noqa: F401  (re-export)
+from repro.runner.execute import ExecutionReport
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.fleet.lease import LeaseManager
     from repro.resilience.launch import ResilientLauncher
 
 __all__ = ["FaultPolicy", "CrashEvent", "execute_fault_tolerant"]
@@ -45,6 +51,11 @@ class FaultPolicy:
     replacement_penalty: float = 180.0
     max_crashes_per_bin: int = 8
     on_exhaustion: str = "fail-bin"
+    #: EBS re-attach seconds when the replacement comes from a warm-pool
+    #: lease (see ``execute_fault_tolerant``'s ``lease_manager``): the
+    #: instance is already booted inside a paid hour, so only the volume
+    #: move is paid (vs ``replacement_penalty`` ≈ boot + attach).
+    attach_penalty: float = 30.0
 
     def __post_init__(self) -> None:
         if self.batch_units < 1:
@@ -55,20 +66,8 @@ class FaultPolicy:
             raise ValueError("max_crashes_per_bin must be >= 1")
         if self.on_exhaustion not in ("fail-bin", "raise"):
             raise ValueError("on_exhaustion must be 'fail-bin' or 'raise'")
-
-
-@dataclass(frozen=True)
-class CrashEvent:
-    bin_index: int
-    instance_id: str
-    at_elapsed: float          # seconds into the bin's work
-    lost_batch_units: int
-
-
-@dataclass
-class _BinState:
-    elapsed: float = 0.0
-    crashes: int = 0
+        if self.attach_penalty < 0:
+            raise ValueError("attach penalty must be non-negative")
 
 
 def execute_fault_tolerant(
@@ -79,6 +78,7 @@ def execute_fault_tolerant(
     policy: FaultPolicy | None = None,
     service: ExecutionService | None = None,
     launcher: "ResilientLauncher | None" = None,
+    lease_manager: "LeaseManager | None" = None,
 ) -> tuple[ExecutionReport, list[CrashEvent]]:
     """Run a plan to completion despite instance crashes.
 
@@ -88,169 +88,29 @@ def execute_fault_tolerant(
     be completed (crashes exhausted, or no instance obtainable under
     chaos) is reported in ``report.failures`` with its billed hours and
     completed-unit count rather than aborting the whole campaign.
+
+    With a ``lease_manager``, replacements draw from the shared fleet:
+    a warm-pool lease pays only ``policy.attach_penalty`` (no fresh boot)
+    and is billed by the manager at retirement rather than by this
+    runner.  Without one, replacements boot privately at
+    ``policy.replacement_penalty`` exactly as before.
     """
-    from repro.chaos import ChaosError
-    from repro.resilience.launch import CapacityError, acquire_replacement, launch_fleet
+    from repro.runner.core import (
+        CrashCompletion,
+        CrashProgress,
+        ExecutionCore,
+        FleetLaunchAcquisition,
+    )
 
-    policy = policy or FaultPolicy()
-    svc = service or ExecutionService(cloud)
-    obs = cloud.obs
-    report = ExecutionReport(deadline=plan.deadline,
-                             strategy=f"{plan.strategy}+fault-tolerant")
-    events: list[CrashEvent] = []
-
-    occupied = [(i, list(units)) for i, units in enumerate(plan.assignments) if units]
-    by_index = dict(occupied)
-    granted, failed_launches = launch_fleet(cloud, [i for i, _ in occupied],
-                                            launcher=launcher)
-    for idx, reason in failed_launches:
-        units = by_index[idx]
-        report.failures.append(FailedBin(
-            bin_index=idx, reason=reason, n_units=len(units),
-            volume=sum(u.size for u in units)))
-    instances = [inst for _, inst, _ in granted]
-    if instances:
-        latest = max(inst.ready_at + wait for _, inst, wait in granted)
-        if latest > cloud.now:
-            cloud.advance(latest - cloud.now)
-        for inst in instances:
-            inst.mark_running(cloud.now)
-        report.rate = instances[0].itype.hourly_rate
-    work_start = cloud.now
-
-    runs: list[InstanceRun] = []
-    for idx, inst, launch_wait in granted:
-        units = by_index[idx]
-        state = _BinState()
-        active = inst
-        active_started = 0.0  # elapsed at which `active` began working
-        bin_billed_hours = 0  # hours already billed to crashed instances
-        failed_bin: FailedBin | None = None
-        batches = [units[i:i + policy.batch_units]
-                   for i in range(0, len(units), policy.batch_units)]
-        b = 0
-        while b < len(batches):
-            batch = batches[b]
-            t_batch = svc.run(active, batch, workload, advance_clock=False)
-            ttf = active.time_to_failure
-            survives = (ttf is None
-                        or state.elapsed - active_started + t_batch <= ttf)
-            if survives:
-                if obs.enabled:
-                    obs.tracer.add_span(
-                        "runner.batch.run", work_start + state.elapsed,
-                        work_start + state.elapsed + t_batch, cat="runner",
-                        track=active.instance_id, bin=idx, batch=b,
-                        units=len(batch))
-                    obs.metrics.counter("runner.batches.completed").inc()
-                state.elapsed += t_batch
-                b += 1
-                continue
-            # Crash mid-batch: progress of this batch is lost.
-            state.crashes += 1
-            crash_elapsed = active_started + (ttf or 0.0)
-            if state.crashes > policy.max_crashes_per_bin:
-                if policy.on_exhaustion == "raise":
-                    raise RuntimeError(
-                        f"bin {idx}: more than {policy.max_crashes_per_bin} "
-                        "crashes; the cloud is unusable")
-                # Report the bin as failed: the hours are billed, the
-                # completed units counted, and the campaign continues.
-                active.fail(cloud.now)
-                rec = cloud.ledger.record(active.instance_id,
-                                          active.itype.name,
-                                          work_start + active_started,
-                                          work_start + crash_elapsed,
-                                          active.itype.hourly_rate)
-                bin_billed_hours += rec.hours
-                completed = sum(len(batches[i]) for i in range(b))
-                failed_bin = FailedBin(
-                    bin_index=idx, reason="crash-exhausted",
-                    n_units=len(units),
-                    volume=sum(u.size for u in units),
-                    completed_units=completed,
-                    elapsed=crash_elapsed + policy.detection_timeout,
-                    billed_hours=bin_billed_hours)
-                if obs.enabled:
-                    obs.tracer.instant("runner.bin.failed", cat="runner",
-                                       track=active.instance_id, bin=idx,
-                                       crashes=state.crashes,
-                                       completed_units=completed)
-                    obs.metrics.counter("runner.bins.failed",
-                                        reason="crash-exhausted").inc()
-                break
-            events.append(CrashEvent(
-                bin_index=idx,
-                instance_id=active.instance_id,
-                at_elapsed=crash_elapsed,
-                lost_batch_units=len(batch),
-            ))
-            if obs.enabled:
-                obs.tracer.instant("runner.crash.detected", cat="runner",
-                                   track=active.instance_id, bin=idx,
-                                   lost_units=len(batch))
-                obs.tracer.add_span(
-                    "runner.crash.recovery", work_start + crash_elapsed,
-                    work_start + crash_elapsed + policy.detection_timeout
-                    + policy.replacement_penalty, cat="runner",
-                    track=active.instance_id, bin=idx)
-                obs.metrics.counter("runner.crashes.detected").inc()
-                obs.metrics.counter("runner.units.requeued").inc(len(batch))
-            state.elapsed = crash_elapsed + policy.detection_timeout
-            # Bill the crashed instance for the hours it actually ran (the
-            # runner tracks per-bin wall time off the global clock, so the
-            # ledger entry is written explicitly rather than via
-            # ``cloud.fail_instance``).
-            active.fail(cloud.now)
-            rec = cloud.ledger.record(active.instance_id, active.itype.name,
-                                      work_start + active_started,
-                                      work_start + crash_elapsed,
-                                      active.itype.hourly_rate)
-            bin_billed_hours += rec.hours
-            try:
-                active, _, penalty = acquire_replacement(
-                    cloud, at=work_start + state.elapsed, launcher=launcher,
-                    boot_attach_penalty=policy.replacement_penalty)
-            except (ChaosError, CapacityError) as e:
-                completed = sum(len(batches[i]) for i in range(b))
-                failed_bin = FailedBin(
-                    bin_index=idx,
-                    reason=f"replacement-failed: {e}",
-                    n_units=len(units),
-                    volume=sum(u.size for u in units),
-                    completed_units=completed,
-                    elapsed=state.elapsed,
-                    billed_hours=bin_billed_hours)
-                if obs.enabled:
-                    obs.metrics.counter("runner.bins.failed",
-                                        reason="replacement-failed").inc()
-                break
-            state.elapsed += penalty
-            active_started = state.elapsed
-            # loop re-runs batch ``b`` on the replacement
-
-        if failed_bin is not None:
-            report.failures.append(failed_bin)
-            continue
-        runs.append(InstanceRun(
-            instance_id=active.instance_id,
-            n_units=len(units),
-            volume=sum(u.size for u in units),
-            boot_delay=launch_wait + inst.boot_delay,
-            duration=state.elapsed,
-            predicted=plan.predicted_times[idx]
-            if idx < len(plan.predicted_times) else 0.0,
-        ))
-        cloud.ledger.record(active.instance_id, active.itype.name,
-                            work_start, work_start + state.elapsed,
-                            active.itype.hourly_rate)
-
-    report.runs = runs
-    if runs:
-        cloud.advance(max(r.duration for r in runs))
-    for inst in cloud.running_instances():
-        inst.terminate(cloud.now)
-    if obs.enabled:
-        obs.metrics.gauge("runner.deadline.margin", strategy=report.strategy
-                          ).set(report.deadline - report.makespan)
-    return report, events
+    core = ExecutionCore(
+        cloud, workload, plan,
+        acquisition=FleetLaunchAcquisition(
+            launcher=launcher, lease_manager=lease_manager,
+            replacement_tenant="fault-tolerant"),
+        progress=CrashProgress(policy or FaultPolicy()),
+        completion=CrashCompletion(lease_manager=lease_manager),
+        service=service,
+        strategy=f"{plan.strategy}+fault-tolerant",
+    )
+    result = core.run()
+    return result.report, result.events

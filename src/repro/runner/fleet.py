@@ -16,11 +16,10 @@ report's per-run ceil estimate.
 
 from __future__ import annotations
 
-from repro.cloud.cluster import Cloud
 from repro.cloud.service import ExecutionService, Workload
 from repro.core.planner import ProvisioningPlan
 from repro.fleet.lease import LeaseManager
-from repro.runner.execute import ExecutionReport, InstanceRun
+from repro.runner.execute import ExecutionReport
 
 __all__ = ["execute_on_fleet"]
 
@@ -46,55 +45,21 @@ def execute_on_fleet(
     instances (pooled) afterwards; call its ``shutdown()`` to settle the
     bill.
     """
-    cloud: Cloud = leases.cloud
-    svc = service or ExecutionService(cloud)
-    obs = cloud.obs
-    label = campaign or f"{plan.strategy}-campaign"
-    report = ExecutionReport(deadline=plan.deadline,
-                             strategy=f"{plan.strategy}+fleet")
-    t0 = cloud.now
-    runs: list[InstanceRun] = []
-    ends: list[float] = []
-    for idx, units in enumerate(plan.assignments):
-        if not units:
-            continue
-        predicted = (plan.predicted_times[idx]
-                     if idx < len(plan.predicted_times) else 0.0)
-        lease = leases.acquire(tenant, est_seconds=predicted, at=t0,
-                               campaign=label)
-        duration = svc.run(lease.instance, units, workload,
-                           advance_clock=False)
-        end = lease.ready_at + duration
-        leases.release(lease, end)
-        plan.annotate_lease(idx, lease.source, lease.lease_id)
-        report.rate = lease.instance.itype.hourly_rate
-        runs.append(InstanceRun(
-            instance_id=lease.instance.instance_id,
-            n_units=len(units),
-            volume=sum(u.size for u in units),
-            boot_delay=lease.ready_at - t0,
-            duration=duration,
-            predicted=predicted,
-        ))
-        ends.append(end)
-        if obs.enabled:
-            obs.tracer.add_span("runner.task.run", lease.ready_at, end,
-                                cat="runner", track=lease.instance.instance_id,
-                                bin=idx, n_units=len(units),
-                                predicted=predicted, tenant=tenant,
-                                source=lease.source,
-                                strategy=report.strategy)
-            obs.metrics.counter("runner.tasks.completed",
-                                strategy=report.strategy).inc()
-    report.runs = runs
-    if ends:
-        horizon = max(ends)
-        if horizon > cloud.now:
-            cloud.advance(horizon - cloud.now)
-    if obs.enabled:
-        obs.metrics.gauge("runner.deadline.margin", strategy=report.strategy
-                          ).set(report.deadline - report.makespan)
-        if report.n_missed:
-            obs.metrics.counter("runner.deadline.misses",
-                                strategy=report.strategy).inc(report.n_missed)
-    return report
+    from repro.runner.core import (
+        ExecutionCore,
+        LeaseAcquisition,
+        LeaseCompletion,
+        RunToCompletion,
+    )
+
+    core = ExecutionCore(
+        leases.cloud, workload, plan,
+        acquisition=LeaseAcquisition(
+            leases, tenant=tenant,
+            campaign=campaign or f"{plan.strategy}-campaign"),
+        progress=RunToCompletion(),
+        completion=LeaseCompletion(leases),
+        service=service,
+        strategy=f"{plan.strategy}+fleet",
+    )
+    return core.run().report

@@ -13,7 +13,6 @@ from __future__ import annotations
 from repro.cloud.bonnie import BONNIE_DURATION, bonnie_probe
 from repro.cloud.cluster import Cloud
 from repro.cloud.service import ExecutionService, Workload
-from repro.packing import uniform_bins
 from repro.perfmodel.quality import QualityTracker
 from repro.runner.execute import ExecutionReport, InstanceRun
 from repro.vfs.files import Catalogue

@@ -7,7 +7,10 @@ constants here keep every module on the same decimal convention (1 kB =
 
 from __future__ import annotations
 
-__all__ = ["KB", "MB", "GB", "HOUR", "MINUTE", "fmt_bytes", "fmt_seconds"]
+import math
+
+__all__ = ["KB", "MB", "GB", "HOUR", "MINUTE", "billed_hours", "fmt_bytes",
+           "fmt_seconds"]
 
 KB = 1_000
 MB = 1_000_000
@@ -15,6 +18,19 @@ GB = 1_000_000_000
 
 MINUTE = 60.0
 HOUR = 3600.0
+
+
+def billed_hours(duration_seconds: float) -> int:
+    """Ceil-hour billing arithmetic: ``max(1, ⌈d / 3600⌉)``.
+
+    The paper's §1.1/§5 pricing model — any started hour is a whole hour,
+    and any use at all is at least one.  This is the single definition the
+    runner reports, the billing ledger, and the fleet's paid-through
+    arithmetic all share; zero- and negative-duration special cases stay
+    with the callers (the ledger treats 0 as unbilled, the report treats
+    it as one committed hour).
+    """
+    return max(1, math.ceil(duration_seconds / HOUR))
 
 
 def fmt_bytes(n: int | float) -> str:
