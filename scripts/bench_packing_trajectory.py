@@ -35,6 +35,7 @@ OUT = REPO / "BENCH_packing.json"
 BENCH_FILES = [
     "benchmarks/test_perf_kernels.py",
     "benchmarks/test_perf_obs_overhead.py",
+    "benchmarks/test_perf_engine.py",
 ]
 BENCH_FILE = BENCH_FILES[0]  # kept for the trajectory-file description
 
@@ -214,6 +215,87 @@ def collect_runner_core_stats() -> dict:
     }
 
 
+def collect_engine_stats() -> dict:
+    """Simulation-core facts for the entry: raw event throughput and
+    columnar fleet advance.
+
+    Two measurements.  First, scheduler throughput: ``schedule_batch`` +
+    ``run`` of a 200k-event storm on the heap and calendar-bucket
+    schedulers, tracer off and on — the events/s headline the engine
+    rewrite is held to (the pre-rewrite runner managed ~1.3k events/s
+    end to end).  Second, the columnar uniform-fleet runner at 1k / 10k /
+    100k instances, tracer off and on: wall seconds, member-advances/s,
+    and the engine event count (exactly two — boot barrier plus fleet
+    completion — whatever the fleet size).
+    """
+    import time
+
+    sys.path.insert(0, str(REPO / "src"))
+    from repro import obs as obs_mod
+    from repro.cloud import Cloud, Workload
+    from repro.core import reshape
+    from repro.corpus import text_400k_like
+    from repro.obs import Tracer
+    from repro.sim.engine import SimulationEngine
+
+    def noop() -> None:
+        pass
+
+    n_storm = 200_000
+    storm_times = [((i * 2654435761) & 0xFFFFF) / 16.0 for i in range(n_storm)]
+    schedulers: dict = {}
+    for scheduler in ("heap", "bucket"):
+        for traced in (False, True):
+            engine = SimulationEngine(tracer=Tracer() if traced else None,
+                                      scheduler=scheduler)
+            t0 = time.perf_counter()
+            engine.schedule_batch(storm_times, noop, "storm")
+            engine.run()
+            elapsed = time.perf_counter() - t0
+            key = f"{scheduler}_{'traced' if traced else 'fast'}"
+            schedulers[key] = {
+                "wall_seconds": round(elapsed, 4),
+                "events_per_s": round(n_storm / elapsed, 1),
+            }
+
+    from repro.apps import GrepApplication, GrepCostProfile
+    from repro.runner import execute_uniform_fleet
+
+    workload = Workload("scan", GrepApplication(), GrepCostProfile())
+    units = list(reshape(text_400k_like(scale=1e-3), None).units)[:6]
+    fleets: dict = {}
+    for n in (1_000, 10_000, 100_000):
+        for traced in (False, True):
+            o = obs_mod.configure(metrics=False) if traced else None
+            try:
+                cloud = Cloud(seed=42)
+                t0 = time.perf_counter()
+                execute_uniform_fleet(cloud, workload, n, units,
+                                      deadline=3600.0)
+                elapsed = time.perf_counter() - t0
+            finally:
+                if o is not None:
+                    obs_mod.disable()
+            key = f"{n}_{'traced' if traced else 'fast'}"
+            fleets[key] = {
+                "wall_seconds": round(elapsed, 4),
+                "instances_per_s": round(n / elapsed, 1),
+                "events_fired": cloud.engine.events_fired,
+            }
+
+    return {
+        "workload": f"{n_storm}-event scheduler storm; columnar uniform "
+                    "fleets of 1k/10k/100k instances (tracer off/on)",
+        "schedulers": schedulers,
+        "fleets": fleets,
+        "events_per_s": schedulers["bucket_fast"]["events_per_s"],
+        "baseline_events_per_s": 1338.9,
+        "speedup_vs_baseline": round(
+            schedulers["bucket_fast"]["events_per_s"] / 1338.9, 1),
+        "fleet_100k_wall_seconds": fleets["100000_fast"]["wall_seconds"],
+    }
+
+
 def distil(raw: dict) -> dict[str, dict[str, float]]:
     """Reduce a pytest-benchmark dump to ``kernel -> median/ops``."""
     kernels: dict[str, dict[str, float]] = {}
@@ -266,6 +348,7 @@ def main() -> None:
         "fleet": collect_fleet_stats(),
         "chaos": collect_chaos_stats(),
         "runner_core": collect_runner_core_stats(),
+        "engine": collect_engine_stats(),
     }
 
     trajectory = load_trajectory()

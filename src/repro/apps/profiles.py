@@ -79,6 +79,12 @@ class GrepCostProfile:
 
         return rng.lognormal(math.log(self.setup_median), self.setup_sigma)
 
+    def draw_setups(self, rng: RngStream, n: int):
+        """``n`` per-run startup draws in one vector (columnar runs)."""
+        import math
+
+        return rng.lognormals(math.log(self.setup_median), self.setup_sigma, n)
+
     def breakdown(self, units: Iterable[UnitMeta], *, matches: int = 0) -> TimeBreakdown:
         """Reference-time split for processing ``units``."""
         n_files = 0
@@ -120,6 +126,13 @@ class PosCostProfile:
         import math
 
         return rng.lognormal(math.log(self.jvm_startup_median), self.jvm_startup_sigma)
+
+    def draw_setups(self, rng: RngStream, n: int):
+        """``n`` per-run startup draws in one vector (columnar runs)."""
+        import math
+
+        return rng.lognormals(math.log(self.jvm_startup_median),
+                              self.jvm_startup_sigma, n)
 
     def memory_penalty(self, size: int) -> float:
         """Working-set multiplier for a unit file of ``size`` bytes."""

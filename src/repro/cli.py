@@ -8,6 +8,8 @@ Usage::
     python -m repro.cli quickstart                 # the end-to-end demo
     python -m repro.cli chaos --scenario az-blackout --policy both
                                                    # fault-injection sweep
+    python -m repro.cli sweep --seeds 6 --processes 4
+                                                   # same grid, all cores
     python -m repro.cli trace quickstart --out trace.json
                                                    # traced demo run
 
@@ -230,6 +232,45 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """``sweep`` subcommand: fan an experiment grid over worker processes."""
+    from repro.chaos import SCENARIOS
+    from repro.experiments.exp_chaos import DEFAULT_SEEDS, chaos_sweep
+
+    names = list(SCENARIOS) if (args.all or not args.scenarios) else args.scenarios
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        _log.error("unknown scenario(s): %s; shipped: %s",
+                   ", ".join(unknown), ", ".join(sorted(SCENARIOS)))
+        return 2
+    if args.seeds < 1:
+        _log.error("--seeds must be at least 1")
+        return 2
+    if args.processes is not None and args.processes < 1:
+        _log.error("--processes must be at least 1 (omit it to use all cores)")
+        return 2
+    policies = {"on": (True,), "off": (False,),
+                "both": (True, False)}[args.policy]
+    seeds = tuple(DEFAULT_SEEDS[i % len(DEFAULT_SEEDS)] + 100 * (i // len(DEFAULT_SEEDS))
+                  for i in range(args.seeds))
+    fig, stats = chaos_sweep(names, seeds=seeds, policies=policies,
+                             processes=args.processes)
+    print(render_ascii(fig))
+    print()
+    n_cells = len(names) * len(policies) * len(seeds)
+    print(f"{n_cells} cells "
+          f"({len(names)} scenarios x {len(policies)} policies x "
+          f"{len(seeds)} seeds)")
+    for name in names:
+        row = stats[name]
+        cells = " ".join(
+            f"{p}: miss {row[p]['miss_rate']:.3f} "
+            f"(${row[p]['mean_cost_usd']:.3f})"
+            for p in ("on", "off") if p in row)
+        print(f"{name:>16}  {cells}")
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """``trace`` subcommand: run a demo with observability on, export it."""
     if args.demo not in DEMOS:
@@ -303,6 +344,22 @@ def main(argv: list[str] | None = None) -> int:
                       help="number of campaign seeds to aggregate (default: 3)")
     p_ch.set_defaults(fn=cmd_chaos)
 
+    p_sw = sub.add_parser(
+        "sweep", help="fan the chaos grid over worker processes")
+    p_sw.add_argument("--scenario", dest="scenarios", nargs="*", default=[],
+                      metavar="NAME",
+                      help="scenario names (default: all shipped scenarios)")
+    p_sw.add_argument("--all", action="store_true",
+                      help="sweep every shipped scenario")
+    p_sw.add_argument("--policy", choices=("on", "off", "both"),
+                      default="both",
+                      help="resilience policy side(s) to run (default: both)")
+    p_sw.add_argument("--seeds", type=int, default=3, metavar="N",
+                      help="number of campaign seeds to aggregate (default: 3)")
+    p_sw.add_argument("--processes", type=int, default=None, metavar="P",
+                      help="worker processes (default: all cores; 1 = inline)")
+    p_sw.set_defaults(fn=cmd_sweep)
+
     p_tr = sub.add_parser("trace", help="run a demo with tracing enabled")
     p_tr.add_argument("demo", metavar="DEMO",
                       help=f"demo to trace ({', '.join(DEMOS)})")
@@ -316,7 +373,7 @@ def main(argv: list[str] | None = None) -> int:
                       help="span category for --gantt (default: runner)")
     p_tr.set_defaults(fn=cmd_trace)
 
-    for p in (p_fig, p_ds, p_qs, p_fl, p_ch, p_tr):
+    for p in (p_fig, p_ds, p_qs, p_fl, p_ch, p_sw, p_tr):
         p.add_argument("--metrics", action="store_true",
                        help="print the metrics table after the run")
 

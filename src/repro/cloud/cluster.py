@@ -3,9 +3,15 @@
 from __future__ import annotations
 
 from repro.obs import Obs, get_obs
-from repro.cloud.billing import BillingLedger, UsageRecord
+from repro.cloud.billing import BillingLedger, ColumnUsage, UsageRecord
 from repro.cloud.ebs import EbsError, EbsVolume, PlacementModel
-from repro.cloud.instance import HeterogeneityModel, Instance, InstanceError, InstanceState
+from repro.cloud.instance import (
+    HeterogeneityModel,
+    Instance,
+    InstanceColumn,
+    InstanceError,
+    InstanceState,
+)
 from repro.cloud.s3 import S3Store
 from repro.cloud.types import SMALL, AvailabilityZone, InstanceType, Region, US_EAST
 from repro.sim.engine import SimulationEngine
@@ -36,6 +42,7 @@ class Cloud:
         failure_model: "FailureModel | None" = None,
         obs: Obs | None = None,
         chaos: "FaultInjector | None" = None,
+        scheduler: str = "auto",
     ) -> None:
         from repro.cloud.instance import CPU_HETEROGENEITY, IO_HETEROGENEITY
 
@@ -43,8 +50,12 @@ class Cloud:
         # given).  The tracer is bound to this cloud's engine clock, so
         # every span/instant below is on *simulated* seconds.
         self.obs = obs or get_obs()
+        # ``scheduler`` selects the engine's priority-queue layout (heap,
+        # bucket, or auto migration); all three fire in identical order,
+        # so this is a pure performance knob.
         self.engine = SimulationEngine(
-            tracer=self.obs.tracer if self.obs.tracer.enabled else None)
+            tracer=self.obs.tracer if self.obs.tracer.enabled else None,
+            scheduler=scheduler)
         if self.obs.tracer.enabled:
             self.obs.tracer.bind_clock(lambda: self.engine.now)
         self.rng = RngStream(seed, name="cloud")
@@ -58,8 +69,10 @@ class Cloud:
         self.ledger = BillingLedger(obs=self.obs)
         self.s3 = S3Store(region_name=region.name)
         self._instances: dict[str, Instance] = {}
+        self._columns: dict[str, InstanceColumn] = {}
         self._volumes: dict[str, EbsVolume] = {}
         self._launches = 0
+        self._column_launches = 0
         self._volume_count = 0
         # Chaos: the injector answers the launch/advance/storage hook
         # points below.  Launch attempts get their own counter so a
@@ -173,6 +186,58 @@ class Cloud:
             self.advance(inst.boot_delay)
             inst.mark_running(self.now)
         return inst
+
+    def launch_column(self, n: int, itype: InstanceType = SMALL,
+                      zone: AvailabilityZone | None = None) -> InstanceColumn:
+        """Request ``n`` homogeneous instances as one columnar launch.
+
+        The columnar counterpart of ``n`` :meth:`launch_instance` calls:
+        boot delays and hidden cpu/io factors are drawn as vectors from a
+        ``column.{k}`` fork — a namespace scalar launches never touch, so
+        adding columnar launches to a campaign leaves every scalar
+        instance's hidden state byte-identical.  The column boots
+        asynchronously; callers advance the clock to ``column.barrier``
+        and call ``mark_running_all`` (or use the columnar runner, which
+        does both through one engine event).
+
+        Chaos hooks are scalar-path-only by design: columnar fleets model
+        the homogeneous happy path whose cost is pure scale.
+        """
+        if n <= 0:
+            raise InstanceError(f"column size must be positive, got {n}")
+        target_zone = zone or self.region.zones[0]
+        self._column_launches += 1
+        rng = self.rng.fork(f"column.{self._column_launches}")
+        col = InstanceColumn(
+            column_id=f"c-{self._column_launches:04d}",
+            itype=itype,
+            zone=target_zone,
+            launched_at=self.now,
+            boot_delay=rng.fork("boot").uniforms(*self.boot_delay_range, n),
+            cpu_factor=self.cpu_heterogeneity.draw_factors(rng.fork("cpu"), n),
+            io_factor=self.io_heterogeneity.draw_factors(rng.fork("io"), n),
+        )
+        self._columns[col.column_id] = col
+        if self.obs.enabled:
+            self.obs.tracer.instant("cloud.column.pending", cat="cloud",
+                                    track=col.column_id, n=n,
+                                    itype=itype.name, zone=target_zone.name)
+            self.obs.metrics.counter("cloud.instance.launches",
+                                     itype=itype.name).inc(n)
+        return col
+
+    def terminate_column(self, column: InstanceColumn,
+                         ends) -> "ColumnUsage":
+        """Retire a whole column at per-member ``ends``; bill vectorized."""
+        ends = column.terminate_all(ends)
+        return self.ledger.record_column(
+            column.column_id, column.itype.name,
+            column.running_since or 0.0, ends,
+            column.itype.hourly_rate)
+
+    @property
+    def columns(self) -> tuple[InstanceColumn, ...]:
+        return tuple(self._columns.values())
 
     def wait_until_running(self, instance: Instance) -> None:
         """Advance the clock to the instance's boot completion if needed."""

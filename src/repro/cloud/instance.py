@@ -6,13 +6,16 @@ import enum
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from repro.cloud.types import AvailabilityZone, InstanceType
 from repro.sim.random import RngStream
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs import Obs
 
-__all__ = ["InstanceState", "Instance", "HeterogeneityModel", "InstanceError"]
+__all__ = ["InstanceState", "Instance", "InstanceColumn", "HeterogeneityModel",
+           "InstanceError"]
 
 
 class InstanceError(RuntimeError):
@@ -54,6 +57,28 @@ class HeterogeneityModel:
         if u < self.p_very_slow + self.p_slow:
             return rng.uniform(*self.slow_range)
         return max(0.8, rng.normal(1.0, self.good_sigma))
+
+    def draw_factors(self, rng: RngStream, n: int) -> np.ndarray:
+        """``n`` hidden speed factors in one vectorized draw.
+
+        Same mixture as :meth:`draw_factor` but a fixed draw budget (three
+        vectors of ``n``) regardless of which branch each instance lands
+        in, so the result is a pure function of ``(rng.seed, n)``.  It is
+        *not* draw-identical to ``n`` scalar calls — columnar launches are
+        a distinct RNG consumer with their own fork names, so installing
+        them never shifts scalar-path draws.
+        """
+        u = rng.uniforms(0.0, 1.0, n)
+        v = rng.uniforms(0.0, 1.0, n)
+        g = rng.normals(1.0, self.good_sigma, n)
+        vs_lo, vs_hi = self.very_slow_range
+        s_lo, s_hi = self.slow_range
+        out = np.maximum(0.8, g)
+        out = np.where(u < self.p_very_slow + self.p_slow,
+                       s_lo + v * (s_hi - s_lo), out)
+        out = np.where(u < self.p_very_slow,
+                       vs_lo + v * (vs_hi - vs_lo), out)
+        return out
 
 
 #: Disk/network speed spreads widely across small instances (the bonnie++
@@ -177,3 +202,95 @@ class Instance:
         """Raise unless the instance is RUNNING."""
         if self.state is not InstanceState.RUNNING:
             raise InstanceError(f"{self.instance_id} is {self.state.value}, not running")
+
+
+class InstanceColumn:
+    """``n`` homogeneous instances held as parallel numpy arrays.
+
+    The columnar counterpart of :class:`Instance` — the PR-1 reshaping
+    move (object rows → columns) applied to fleet state.  One engine event
+    advances the whole column through a lifecycle edge (boot barrier,
+    completion sweep) instead of ``n`` per-instance callbacks; hidden
+    per-instance quality lives in ``cpu_factor`` / ``io_factor`` vectors.
+
+    Lifecycle is deliberately coarser than the scalar class: the column
+    boots together (``mark_running_all`` at the barrier — the fleet-launch
+    semantics every runner already uses) and retires per instance via a
+    vector of end times.  Anything needing per-instance lifecycle nuance
+    (crash recovery, lease churn) belongs on scalar instances.
+    """
+
+    __slots__ = ("column_id", "itype", "zone", "launched_at", "boot_delay",
+                 "cpu_factor", "io_factor", "running_since", "terminated_at",
+                 "_running")
+
+    def __init__(self, column_id: str, itype: InstanceType,
+                 zone: AvailabilityZone, launched_at: float,
+                 boot_delay: np.ndarray, cpu_factor: np.ndarray,
+                 io_factor: np.ndarray) -> None:
+        n = len(boot_delay)
+        if len(cpu_factor) != n or len(io_factor) != n:
+            raise InstanceError("column arrays must share one length")
+        self.column_id = column_id
+        self.itype = itype
+        self.zone = zone
+        self.launched_at = launched_at
+        self.boot_delay = np.asarray(boot_delay, dtype=float)
+        self.cpu_factor = np.asarray(cpu_factor, dtype=float)
+        self.io_factor = np.asarray(io_factor, dtype=float)
+        self.running_since: float | None = None
+        self.terminated_at: np.ndarray | None = None
+        self._running = False
+
+    def __len__(self) -> int:
+        return len(self.boot_delay)
+
+    @property
+    def n(self) -> int:
+        return len(self.boot_delay)
+
+    def instance_id(self, i: int) -> str:
+        """Stable per-member id (for reports and ledger attribution)."""
+        return f"{self.column_id}#{i:06d}"
+
+    @property
+    def ready_at(self) -> np.ndarray:
+        """Per-member boot completion times."""
+        return self.launched_at + self.boot_delay
+
+    @property
+    def barrier(self) -> float:
+        """The fleet boot barrier: the slowest member's ready time."""
+        return float(self.ready_at.max()) if self.n else self.launched_at
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def mark_running_all(self, now: float) -> None:
+        """PENDING → RUNNING for the whole column at the boot barrier."""
+        if self._running:
+            raise InstanceError(f"{self.column_id}: column already running")
+        if self.n and now < self.barrier:
+            raise InstanceError(
+                f"{self.column_id}: still booting until t={self.barrier:.1f}")
+        self.running_since = now
+        self._running = True
+
+    def terminate_all(self, ends: np.ndarray | float) -> np.ndarray:
+        """Retire every member at its own end time; returns the ends vector."""
+        if not self._running:
+            raise InstanceError(f"{self.column_id}: column never started")
+        if self.terminated_at is not None:
+            raise InstanceError(f"{self.column_id}: column already terminated")
+        ends = np.broadcast_to(np.asarray(ends, dtype=float), (self.n,)).copy()
+        if self.n and float(ends.min()) < (self.running_since or 0.0):
+            raise InstanceError("termination before the column started")
+        self.terminated_at = ends
+        self._running = False
+        return ends
+
+    def require_running(self) -> None:
+        """Raise unless the column is RUNNING."""
+        if not self._running:
+            raise InstanceError(f"{self.column_id} is not running")

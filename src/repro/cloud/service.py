@@ -19,11 +19,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence, Union
 
+import numpy as np
+
 from repro.apps.base import TextApplication, Unit, as_unit_meta
 from repro.apps.profiles import GrepCostProfile, PosCostProfile
 from repro.cloud.cluster import Cloud
 from repro.cloud.ebs import EbsVolume
-from repro.cloud.instance import Instance
+from repro.cloud.instance import Instance, InstanceColumn
 
 __all__ = ["Workload", "ExecutionService"]
 
@@ -100,4 +102,41 @@ class ExecutionService:
             t *= rng.fork("noise").lognormal(0.0, self.noise_sigma)
         if advance_clock:
             self.cloud.advance(t)
+        return t
+
+    def run_column(
+        self,
+        column: InstanceColumn,
+        workload: Workload,
+        io_ref: np.ndarray,
+        cpu_ref: np.ndarray,
+    ) -> np.ndarray:
+        """Measured seconds for member ``i`` processing its own reference work.
+
+        The columnar counterpart of :meth:`run`: ``io_ref``/``cpu_ref``
+        hold each member's reference-instance seconds (one entry per
+        column member — from :meth:`GrepCostProfile.breakdown` per bin, or
+        broadcast for a uniform fleet), and the same composition applies
+        vectorized — per-member setup draw, hidden cpu/io division, and
+        multiplicative measurement noise.  Draws come from an
+        ``exec.column.{id}.{k}`` fork, a namespace scalar runs never use.
+
+        The clock is *not* advanced here — the columnar runner owns the
+        engine events.  Storage reads are instance-local (factor 1.0);
+        EBS placement and chaos episodes stay on the scalar path.
+        """
+        column.require_running()
+        n = column.n
+        io_ref = np.broadcast_to(np.asarray(io_ref, dtype=float), (n,))
+        cpu_ref = np.broadcast_to(np.asarray(cpu_ref, dtype=float), (n,))
+        k = self._run_counts.get(column.column_id, 0)
+        self._run_counts[column.column_id] = k + 1
+        rng = self.cloud.rng.fork(f"exec.column.{column.column_id}.{k}")
+        t = (
+            workload.profile.draw_setups(rng.fork("setup"), n)
+            + io_ref / column.io_factor
+            + cpu_ref / column.cpu_factor
+        )
+        if self.noise_sigma:
+            t = t * rng.fork("noise").lognormals(0.0, self.noise_sigma, n)
         return t

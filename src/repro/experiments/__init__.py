@@ -16,5 +16,6 @@ from repro.experiments import exp_fleet as fleet
 from repro.experiments import exp_grep as grep
 from repro.experiments import exp_pos as pos
 from repro.experiments import exp_side as side
+from repro.experiments import sweep
 
-__all__ = ["chaos", "fig1", "fig2", "fleet", "grep", "pos", "side"]
+__all__ = ["chaos", "fig1", "fig2", "fleet", "grep", "pos", "side", "sweep"]

@@ -195,22 +195,46 @@ def chaos_sweep(
     *,
     seeds: tuple[int, ...] = DEFAULT_SEEDS,
     policies: tuple[bool, ...] = (True, False),
+    processes: int | None = 1,
 ) -> tuple[FigureResult, dict]:
     """Sweep scenarios × policies × seeds; aggregate miss rate and cost.
 
     Returns ``(figure, stats)`` where ``stats[name]`` holds the
     aggregated ``on``/``off`` rows (miss rate over all seeds' bins, mean
     cost) plus the per-cell outcomes.
+
+    Every cell is an independent ``(scenario, policy, seed)`` run, so the
+    grid fans out over the :mod:`~repro.experiments.sweep` harness:
+    ``processes=None`` uses every core, the default ``1`` runs inline.
+    Results are bit-identical either way — each cell seeds its own cloud.
     """
     from repro.chaos import SCENARIOS
+    from repro.experiments.sweep import Cell, run_sweep
 
     names = list(SCENARIOS) if names is None else names
+    grid = [
+        Cell("repro.experiments.exp_chaos:run_cell",
+             {"scenario_name": name, "resilience": resilience, "seed": seed},
+             tag=(name, resilience))
+        for name in names
+        for resilience in policies
+        for seed in seeds
+    ]
+    from repro.obs import get_obs
+
+    registry = get_obs().metrics
+    result = run_sweep(grid, processes=processes,
+                       collect_metrics=registry.enabled,
+                       merge_into=registry if registry.enabled else None)
+    by_tag: dict = {}
+    for tag, row in zip(result.tags, result.rows):
+        by_tag.setdefault(tag, []).append(row)
+
     stats: dict = {}
     for name in names:
         per_policy: dict = {}
         for resilience in policies:
-            cells = [run_cell(name, resilience=resilience, seed=s)
-                     for s in seeds]
+            cells = by_tag[(name, resilience)]
             bins = sum(c["bins"] for c in cells)
             missed = sum(c["missed"] for c in cells)
             per_policy["on" if resilience else "off"] = {

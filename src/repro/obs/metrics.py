@@ -200,7 +200,8 @@ class MetricsRegistry:
         return found
 
     def _get(self, kind: str, name: str, labels: dict) -> Any:
-        key = (name, tuple(sorted(labels.items())))
+        # Unlabelled series (the hot-path majority) skip the sort.
+        key = (name, ()) if not labels else (name, tuple(sorted(labels.items())))
         found = self._series.get(key)
         if found is None:
             self._check(name, kind)
@@ -275,6 +276,53 @@ class MetricsRegistry:
                 mine.total += inst.total
                 mine.vmin = min(mine.vmin, inst.vmin)
                 mine.vmax = max(mine.vmax, inst.vmax)
+
+    def dump(self) -> list:
+        """Picklable flat dump for cross-process merging.
+
+        Each row is ``(name, labels, kind, state)`` with ``state`` a plain
+        tuple — no instrument objects cross the process boundary.  The
+        multiprocess sweep harness ships worker registries back as dumps
+        and folds them into the parent with :meth:`merge_dump`.
+        """
+        rows = []
+        for (name, labels), inst in self._series.items():
+            kind = self._kinds[name]
+            if kind == "histogram":
+                state = (inst.bounds, tuple(inst.counts), inst.count,
+                         inst.total, inst.vmin, inst.vmax)
+            else:
+                state = inst.value
+            rows.append((name, labels, kind, state))
+        return rows
+
+    def merge_dump(self, rows: list) -> None:
+        """Fold a :meth:`dump` in (same semantics as :meth:`merge`)."""
+        for name, labels, kind, state in rows:
+            key = (name, tuple(labels))
+            mine = self._series.get(key)
+            if mine is None:
+                self._check(name, kind)
+                if kind == "histogram":
+                    mine = self._series[key] = Histogram(tuple(state[0]))
+                else:
+                    mine = self._series[key] = _KINDS[kind]()
+            elif self._kinds[name] != kind:
+                raise MetricsError(f"merge: {name!r} kind mismatch")
+            if kind == "counter":
+                mine.inc(state)
+            elif kind == "gauge":
+                mine.set(state)
+            else:
+                bounds, counts, count, total, vmin, vmax = state
+                if mine.bounds != tuple(bounds):
+                    raise MetricsError(f"merge: {name!r} bucket bounds differ")
+                for i, c in enumerate(counts):
+                    mine.counts[i] += c
+                mine.count += count
+                mine.total += total
+                mine.vmin = min(mine.vmin, vmin)
+                mine.vmax = max(mine.vmax, vmax)
 
     def reset(self) -> None:
         """Forget every series and kind registration."""

@@ -127,14 +127,28 @@ class Span:
 
 
 class Tracer:
-    """Span + instant recorder with a no-op fast path when disabled."""
+    """Span + instant recorder with a no-op fast path when disabled.
+
+    Hot-path storage is columnar-ish: records land as plain tuples in
+    append-only lists (no dataclass construction, no argument-dict copy —
+    ``**args`` is already a fresh dict per call) and are materialised into
+    :class:`SpanRecord`/:class:`InstantRecord` objects lazily, the first
+    time :attr:`spans`/:attr:`instants` is read.  Recording a span at
+    scale is one tuple + one ``list.append``; the object cost is paid only
+    by inspection code, and only once per record.
+    """
 
     def __init__(self, clock: Clock | None = None, *, enabled: bool = True,
                  max_records: int = 1_000_000) -> None:
         self.enabled = enabled
         self._clock: Clock = clock or _zero_clock
-        self._spans: list[SpanRecord] = []
-        self._instants: list[InstantRecord] = []
+        # raw rows: (name, cat, t0, t1, track, depth, args) / (name, cat,
+        # t, track, args); materialised record caches trail them.
+        self._raw_spans: list[tuple] = []
+        self._raw_instants: list[tuple] = []
+        self._span_cache: list[SpanRecord] = []
+        self._instant_cache: list[InstantRecord] = []
+        self._count = 0
         self._depths: dict[str, int] = {}
         self.max_records = max_records
         self.dropped = 0
@@ -172,16 +186,46 @@ class Tracer:
             raise ValueError(f"span {name!r} ends before it starts: [{t0}, {t1}]")
         if self._full():
             return
-        self._spans.append(SpanRecord(name, cat, t0, t1, track,
-                                      self._depths.get(track, 0), dict(args)))
+        self._count += 1
+        self._raw_spans.append((name, cat, t0, t1, track,
+                                self._depths.get(track, 0), args))
+
+    def add_spans(self, name: str, t0s: Iterable[float], t1s: Iterable[float],
+                  cat: str = "", *, track: str = "main") -> int:
+        """Bulk :meth:`add_span`: one call records a whole column of
+        intervals (numpy arrays welcome) sharing a name/cat/track.
+
+        Returns how many were recorded; the remainder past ``max_records``
+        is counted in :attr:`dropped`.  Endpoint validation is vectorised
+        up front — either the whole batch is well-formed or nothing lands.
+        """
+        if not self.enabled:
+            return 0
+        rows = [(float(a), float(b)) for a, b in zip(t0s, t1s)]
+        for a, b in rows:
+            if b < a:
+                raise ValueError(
+                    f"span {name!r} ends before it starts: [{a}, {b}]")
+        room = self.max_records - self._count
+        if room <= 0:
+            self.dropped += len(rows)
+            return 0
+        kept = rows[:room]
+        self.dropped += len(rows) - len(kept)
+        depth = self._depths.get(track, 0)
+        append = self._raw_spans.append
+        for a, b in kept:
+            append((name, cat, a, b, track, depth, None))
+        self._count += len(kept)
+        return len(kept)
 
     def instant(self, name: str, cat: str = "", *, track: str = "main",
                 **args: Any) -> None:
         """Record a point event at the current clock reading."""
         if not self.enabled or self._full():
             return
-        self._instants.append(
-            InstantRecord(name, cat, self._clock(), track, dict(args)))
+        self._count += 1
+        self._raw_instants.append((name, cat, self._clock(), track, args))
 
     # -- live-span plumbing ----------------------------------------------
 
@@ -200,58 +244,80 @@ class Tracer:
     def _finish(self, span: Span) -> None:
         if self._full():
             return
-        self._spans.append(SpanRecord(
-            span.name, span.cat, span.t0, self._clock(), span.track,
-            span._depth, span.args))
+        self._count += 1
+        self._raw_spans.append((span.name, span.cat, span.t0, self._clock(),
+                                span.track, span._depth, span.args))
 
     def _full(self) -> bool:
-        if len(self._spans) + len(self._instants) >= self.max_records:
+        if self._count >= self.max_records:
             self.dropped += 1
             return True
         return False
 
     # -- inspection ------------------------------------------------------
 
+    def _materialized_spans(self) -> list[SpanRecord]:
+        """Materialise the raw tail into the record cache (idempotent)."""
+        cache = self._span_cache
+        raw = self._raw_spans
+        for i in range(len(cache), len(raw)):
+            name, cat, t0, t1, track, depth, args = raw[i]
+            cache.append(SpanRecord(name, cat, t0, t1, track, depth,
+                                    args if args is not None else {}))
+        return cache
+
+    def _materialized_instants(self) -> list[InstantRecord]:
+        cache = self._instant_cache
+        raw = self._raw_instants
+        for i in range(len(cache), len(raw)):
+            name, cat, t, track, args = raw[i]
+            cache.append(InstantRecord(name, cat, t, track,
+                                       args if args is not None else {}))
+        return cache
+
     @property
     def spans(self) -> tuple[SpanRecord, ...]:
         """Finished spans in completion order (children before parents)."""
-        return tuple(self._spans)
+        return tuple(self._materialized_spans())
 
     @property
     def instants(self) -> tuple[InstantRecord, ...]:
-        return tuple(self._instants)
+        return tuple(self._materialized_instants())
 
     @property
     def span_count(self) -> int:
-        return len(self._spans)
+        return len(self._raw_spans)
 
     @property
     def event_count(self) -> int:
         """Total records (spans + instants)."""
-        return len(self._spans) + len(self._instants)
+        return self._count
 
     def categories(self) -> set[str]:
         """Distinct non-empty ``cat`` values across spans and instants."""
-        cats = {s.cat for s in self._spans if s.cat}
-        cats.update(i.cat for i in self._instants if i.cat)
+        cats = {row[1] for row in self._raw_spans if row[1]}
+        cats.update(row[1] for row in self._raw_instants if row[1])
         return cats
 
     def tracks(self) -> list[str]:
         """Track names in order of first appearance."""
         seen: dict[str, None] = {}
-        for s in self._spans:
-            seen.setdefault(s.track)
-        for i in self._instants:
-            seen.setdefault(i.track)
+        for row in self._raw_spans:
+            seen.setdefault(row[4])
+        for row in self._raw_instants:
+            seen.setdefault(row[3])
         return list(seen)
 
     def spans_named(self, name: str) -> list[SpanRecord]:
         """All finished spans with this exact name."""
-        return [s for s in self._spans if s.name == name]
+        return [s for s in self._materialized_spans() if s.name == name]
 
     def reset(self) -> None:
         """Drop every record (the clock binding survives)."""
-        self._spans.clear()
-        self._instants.clear()
+        self._raw_spans.clear()
+        self._raw_instants.clear()
+        self._span_cache.clear()
+        self._instant_cache.clear()
+        self._count = 0
         self._depths.clear()
         self.dropped = 0

@@ -37,6 +37,11 @@ from repro.runner.core import (
     StaticCompletion,
     StragglerProgress,
 )
+from repro.runner.columnar import (
+    ColumnarReport,
+    execute_plan_columnar,
+    execute_uniform_fleet,
+)
 from repro.runner.dynamic import DynamicPolicy, ReplacementEvent, execute_with_monitoring
 from repro.runner.ebs_plan import DeviceAssignment, execute_ebs_plan
 from repro.runner.event_driven import FleetTimeline, execute_plan_event_driven
@@ -60,6 +65,9 @@ __all__ = [
     "execute_quality_aware",
     "FleetTimeline",
     "execute_plan_event_driven",
+    "ColumnarReport",
+    "execute_plan_columnar",
+    "execute_uniform_fleet",
     "DeviceAssignment",
     "execute_ebs_plan",
     # the core and its policies

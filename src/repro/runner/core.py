@@ -1114,25 +1114,41 @@ class ExecutionCore:
     # -- the one processing loop ------------------------------------------
 
     def _process(self, ctx: CoreContext) -> None:
-        """Fleet-ready event: process every bin, schedule its completion."""
+        """Fleet-ready event: process every bin, then batch-schedule the
+        completion events.
+
+        Completions are collected during the loop and scheduled in one
+        :meth:`~repro.sim.engine.SimulationEngine.schedule_batch` call —
+        nothing inside ``execute``/``settle_bin`` advances the engine
+        clock, so deferring the scheduling to after the loop leaves the
+        firing order (and therefore every report, ledger and timeline)
+        bit-identical to per-grant ``schedule_at`` calls while amortising
+        the per-event scheduling overhead across the fleet.
+        """
         ctx.work_start = ctx.engine.now
         self.acquisition.on_work_start(ctx)
+        done: list[tuple[BinGrant, BinOutcome]] = []
         for grant in self.acquisition.grants(ctx):
             outcome = self.progress.execute(ctx, grant)
             self.completion.settle_bin(ctx, grant, outcome)
             if outcome.run is not None:
                 ctx.working += 1
-                self._schedule_completion(ctx, grant, outcome)
+                ctx.ends.append(outcome.end)
+                done.append((grant, outcome))
+        if done:
+            ctx.engine.schedule_batch(
+                [outcome.end for _, outcome in done],
+                [self._completer(ctx, grant, outcome)
+                 for grant, outcome in done],
+                [f"complete:{outcome.run.instance_id}"
+                 for _, outcome in done])
 
-    def _schedule_completion(self, ctx: CoreContext, grant: BinGrant,
-                             outcome: BinOutcome) -> None:
+    def _completer(self, ctx: CoreContext, grant: BinGrant,
+                   outcome: BinOutcome) -> Callable[[], None]:
         def complete() -> None:
             ctx.working -= 1
             ctx.completed += 1
             ctx.timeline.record(ctx.engine.now, ctx.working, ctx.completed)
             self.completion.on_bin_complete(ctx, grant, outcome)
 
-        ctx.ends.append(outcome.end)
-        ctx.engine.schedule_at(
-            outcome.end, complete,
-            label=f"complete:{outcome.run.instance_id}")
+        return complete

@@ -1,24 +1,50 @@
 """A deterministic discrete-event simulation engine.
 
 The EC2 simulator (:mod:`repro.cloud`) and the plan runner
-(:mod:`repro.runner`) are built on this engine.  It is intentionally small:
-a binary-heap scheduler with stable tie-breaking (events scheduled at the
-same simulated time fire in scheduling order), a monotonic clock, and a
-cancellation facility.
+(:mod:`repro.runner`) are built on this engine.  It fires events in exact
+``(time, sequence)`` order — events scheduled at the same simulated time
+fire in scheduling order — with a monotonic clock and a cancellation
+facility, behind two interchangeable scheduler layouts:
+
+* **heap** — a binary heap of ``(time, seq, event)`` tuples; O(log n) per
+  operation, lowest constant factor for small, sparse event populations;
+* **bucket** — a calendar-queue variant: events are appended O(1) into
+  buckets keyed by ``floor(time / width)``, a min-heap tracks *occupied*
+  bucket keys only (empty buckets are never visited), and each bucket is
+  sorted once — by C timsort — at the moment it becomes the minimum.
+  Dense populations (large fleets, batched completions) pay roughly O(1)
+  per event instead of O(log n) Python-level comparisons.
+
+The default ``scheduler="auto"`` starts on the heap (the sparse-horizon
+fallback) and migrates to buckets once the pending population crosses a
+threshold; both layouts are exact priority queues, so the firing order is
+bit-identical whichever is active (``tests/test_sim_engine_differential.py``
+holds them to that with a hypothesis program generator).
+
+Hot-path design (the "million events/sec" contract):
+
+* :class:`Event` is a plain ``__slots__`` class — no dataclass machinery,
+  no per-event dict;
+* heap entries are bare tuples, compared in C;
+* :meth:`SimulationEngine.schedule_batch` amortises validation, tracer
+  checks and scheduler maintenance over a whole batch of events;
+* the no-tracer ``run`` loop is a dedicated fast path with zero tracer
+  branches per event;
+* cancelled entries are *compacted* out of the scheduler once they exceed
+  half of the stored population, so cancel-heavy workloads (hedged
+  launches, straggler replacement) cannot bloat peeks and pops.
 
 Determinism contract
 --------------------
 Given the same sequence of ``schedule`` calls, ``run`` produces the same
-sequence of callbacks.  No wall-clock time is ever consulted; simulated time
-is a ``float`` number of seconds.
+sequence of callbacks — regardless of the scheduler layout.  No wall-clock
+time is ever consulted; simulated time is a ``float`` number of seconds.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.trace import Tracer
@@ -27,17 +53,17 @@ __all__ = ["Event", "SimulationEngine", "SimulationError"]
 
 
 class SimulationError(RuntimeError):
-    """Raised for scheduling in the past or a runaway simulation."""
+    """Raised for scheduling in the past, counter corruption, or a runaway
+    simulation."""
 
 
-@dataclass(order=True)
-class _HeapEntry:
-    time: float
-    seq: int
-    event: "Event" = field(compare=False)
+#: Pending population at which ``scheduler="auto"`` migrates heap → buckets.
+AUTO_BUCKET_THRESHOLD = 512
+
+#: Never compact below this many stored entries (compaction is O(n)).
+_COMPACT_MIN = 64
 
 
-@dataclass
 class Event:
     """A scheduled callback.
 
@@ -49,22 +75,37 @@ class Event:
         Zero-argument callable invoked when the event fires.
     label:
         Human-readable tag used in traces and error messages.
+    cancelled:
+        True once :meth:`cancel` ran; the engine skips the event.
     """
 
-    time: float
-    callback: Callable[[], None]
-    label: str = ""
-    cancelled: bool = False
-    _engine: Optional["SimulationEngine"] = field(
-        default=None, repr=False, compare=False
-    )
-    _consumed: bool = field(default=False, repr=False, compare=False)
-    #: True only while the engine's live ``pending`` counter includes this
-    #: event (set on schedule, cleared on fire and on first cancel).  The
-    #: counter is only ever decremented through this flag, so a cancel that
-    #: races a drained ``run`` — or a cancel of a hand-built Event that was
-    #: never scheduled — cannot drive ``pending`` negative.
-    _tracked: bool = field(default=False, repr=False, compare=False)
+    __slots__ = ("time", "callback", "label", "cancelled",
+                 "_engine", "_consumed", "_tracked")
+
+    def __init__(self, time: float, callback: Callable[[], None],
+                 label: str = "", cancelled: bool = False,
+                 _engine: "SimulationEngine | None" = None,
+                 _consumed: bool = False, _tracked: bool = False) -> None:
+        self.time = time
+        self.callback = callback
+        self.label = label
+        self.cancelled = cancelled
+        #: Owning engine (None for a hand-built, never-scheduled event).
+        self._engine = _engine
+        #: True once the event fired (cancel after firing is a no-op).
+        self._consumed = _consumed
+        #: True only while the engine's live ``pending`` counter includes
+        #: this event (set on schedule, cleared on fire and on first
+        #: cancel).  The counter is only ever decremented through this
+        #: flag, so a cancel that races a drained ``run`` — or a cancel of
+        #: a hand-built Event that was never scheduled — cannot drive
+        #: ``pending`` negative.
+        self._tracked = _tracked
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else (
+            "fired" if self._consumed else "pending")
+        return f"Event(t={self.time}, label={self.label!r}, {state})"
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped.
@@ -78,34 +119,63 @@ class Event:
         eng = self._engine
         if eng is not None and self._tracked:
             self._tracked = False
-            eng._pending -= 1
-            assert eng._pending >= 0, \
-                f"pending counter underflow cancelling {self.label or 'event'}"
-            if eng._tracer is not None:
-                eng._tracer.instant("sim.engine.cancel", cat="sim",
-                                    track="sim", label=self.label,
-                                    t=self.time)
+            eng._note_cancel(self)
 
 
 class SimulationEngine:
-    """Binary-heap discrete-event scheduler with a monotonic clock.
+    """Discrete-event scheduler with a monotonic clock.
+
+    Parameters
+    ----------
+    max_events:
+        Runaway guard: raise :class:`SimulationError` past this many fires.
+    tracer:
+        Optional structured event log; ``None`` (or a disabled tracer)
+        selects the branch-free fast path.
+    scheduler:
+        ``"auto"`` (heap, migrating to buckets past
+        :data:`AUTO_BUCKET_THRESHOLD` pending events), ``"heap"`` (never
+        migrate) or ``"bucket"`` (migrate on first schedule).  All three
+        fire events in identical order.
+    bucket_width:
+        Bucket span in simulated seconds; by default it is chosen at
+        migration time as the mean gap between pending events.
 
     With an enabled ``tracer``, the engine keeps a structured event log:
     ``sim.engine.schedule`` / ``sim.engine.fire`` / ``sim.engine.cancel``
     instants carry each event's label, and every ``run`` that advances the
     clock records a ``sim.engine.run`` span on simulated time.  With no
-    tracer (the default) the cost is one ``None`` check per operation.
+    tracer (the default) the hot loop contains no tracer branches at all.
     """
 
     def __init__(self, max_events: int = 10_000_000,
-                 tracer: "Tracer | None" = None) -> None:
-        self._heap: list[_HeapEntry] = []
-        self._seq = itertools.count()
+                 tracer: "Tracer | None" = None, *,
+                 scheduler: str = "auto",
+                 bucket_width: float | None = None) -> None:
+        if scheduler not in ("auto", "heap", "bucket"):
+            raise SimulationError(
+                f"unknown scheduler {scheduler!r} (auto, heap or bucket)")
+        self._policy = scheduler
+        self._bucketed = False
+        # heap lane: list of (time, seq, Event) tuples
+        self._heap: list[tuple[float, int, Event]] = []
+        # bucket lane: key -> unsorted entry list; only *occupied* keys
+        # live in the _bkeys min-heap, and _cur is the minimal bucket,
+        # sorted descending so pops come off the end.
+        self._buckets: dict[int, list[tuple[float, int, Event]]] = {}
+        self._bkeys: list[int] = []
+        self._cur: list[tuple[float, int, Event]] = []
+        self._cur_key = 0
+        self._width = float(bucket_width) if bucket_width else 0.0
+        self._seq = 0
         self._now = 0.0
         self._fired = 0
         self._pending = 0
+        self._stored = 0   # entries across all lanes, cancelled included
         self.max_events = max_events
         self._tracer = tracer if (tracer is not None and tracer.enabled) else None
+        if scheduler == "bucket":
+            self._migrate_to_buckets()
 
     def attach_tracer(self, tracer: "Tracer | None") -> None:
         """Install (or remove, with ``None``) the structured event log."""
@@ -122,81 +192,303 @@ class SimulationEngine:
     def events_fired(self) -> int:
         return self._fired
 
+    @property
+    def scheduler(self) -> str:
+        """The active scheduler layout: ``"heap"`` or ``"bucket"``."""
+        return "bucket" if self._bucketed else "heap"
+
     # -- scheduling ------------------------------------------------------
 
-    def schedule_at(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
+    def schedule_at(self, time: float, callback: Callable[[], None],
+                    label: str = "") -> Event:
         """Schedule ``callback`` at absolute simulated time ``time``."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule {label or 'event'} at t={time} (now={self._now})"
             )
-        ev = Event(time=time, callback=callback, label=label, _engine=self,
-                   _tracked=True)
-        heapq.heappush(self._heap, _HeapEntry(time, next(self._seq), ev))
+        ev = Event(time, callback, label, False, self, False, True)
+        self._insert(time, ev)
         self._pending += 1
         if self._tracer is not None:
             self._tracer.instant("sim.engine.schedule", cat="sim",
                                  track="sim", label=label, t=time)
         return ev
 
-    def schedule_in(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
+    def schedule_in(self, delay: float, callback: Callable[[], None],
+                    label: str = "") -> Event:
         """Schedule ``callback`` after ``delay`` seconds of simulated time."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay} for {label or 'event'}")
         return self.schedule_at(self._now + delay, callback, label)
 
+    def schedule_batch(
+        self,
+        times: Sequence[float],
+        callbacks: Sequence[Callable[[], None]] | Callable[[], None],
+        labels: Sequence[str] | str = "",
+    ) -> list[Event]:
+        """Schedule many events in one call, amortising per-event overhead.
+
+        ``callbacks`` may be one callable (broadcast to every time) or a
+        sequence matching ``times``; likewise ``labels``.  Events are
+        assigned sequence numbers in input order, so ties fire in input
+        order — exactly as the equivalent loop of :meth:`schedule_at`
+        calls would.  Validation happens up front: either every event is
+        scheduled or none is.
+        """
+        times = list(times)
+        n = len(times)
+        if n == 0:
+            return []
+        one_cb = callable(callbacks)
+        one_label = isinstance(labels, str)
+        if not one_cb and len(callbacks) != n:
+            raise SimulationError(
+                f"schedule_batch: {n} times but {len(callbacks)} callbacks")
+        if not one_label and len(labels) != n:
+            raise SimulationError(
+                f"schedule_batch: {n} times but {len(labels)} labels")
+        now = self._now
+        if min(times) < now:
+            bad = min(times)
+            raise SimulationError(
+                f"cannot schedule batch event at t={bad} (now={now})")
+        # A large batch on the heap lane is exactly the dense regime the
+        # bucket layout exists for: migrate first so inserts are O(1).
+        if (not self._bucketed and self._policy == "auto"
+                and self._pending + n > AUTO_BUCKET_THRESHOLD):
+            self._migrate_to_buckets(extra_times=times)
+        events: list[Event] = []
+        append = events.append
+        insert = self._insert
+        for i in range(n):
+            t = times[i]
+            ev = Event(t, callbacks if one_cb else callbacks[i],
+                       labels if one_label else labels[i],
+                       False, self, False, True)
+            insert(t, ev)
+            append(ev)
+        self._pending += n
+        tracer = self._tracer
+        if tracer is not None:
+            for ev in events:
+                tracer.instant("sim.engine.schedule", cat="sim",
+                               track="sim", label=ev.label, t=ev.time)
+        return events
+
+    # -- scheduler internals ---------------------------------------------
+
+    def _insert(self, time: float, ev: Event) -> None:
+        seq = self._seq
+        self._seq = seq + 1
+        entry = (time, seq, ev)
+        self._stored += 1
+        if not self._bucketed:
+            heapq.heappush(self._heap, entry)
+            if (self._policy == "auto"
+                    and self._pending + 1 > AUTO_BUCKET_THRESHOLD):
+                self._migrate_to_buckets()
+            return
+        self._bucket_insert(entry)
+
+    def _bucket_insert(self, entry: tuple[float, int, Event]) -> None:
+        key = int(entry[0] / self._width)
+        cur = self._cur
+        if cur:
+            cur_key = self._cur_key
+            if key == cur_key:
+                # Insert into the open (descending-sorted) bucket.
+                lo, hi = 0, len(cur)
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if cur[mid] > entry:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                cur.insert(lo, entry)
+                return
+            if key < cur_key:
+                # The new event precedes the open bucket (the clock lags
+                # far behind it): push the open bucket back and fall
+                # through to a plain insert.  Rare — only reachable when
+                # a peek opened a far-future bucket.
+                self._buckets[cur_key] = cur
+                heapq.heappush(self._bkeys, cur_key)
+                self._cur = []
+        b = self._buckets.get(key)
+        if b is None:
+            self._buckets[key] = [entry]
+            heapq.heappush(self._bkeys, key)
+        else:
+            b.append(entry)
+
+    def _migrate_to_buckets(self, extra_times: Sequence[float] | None = None) -> None:
+        """Move every heap entry into the bucket lane (order-preserving)."""
+        self._bucketed = True
+        entries = self._heap
+        self._heap = []
+        if self._width <= 0.0:
+            # Width heuristic: the mean gap between pending events, so a
+            # bucket holds O(1) events on average.  Degenerate spans fall
+            # back to 1 simulated second; correctness never depends on
+            # the choice, only constant factors do.
+            t_hi = max(entries, default=(self._now, 0, None))[0]
+            n = len(entries)
+            if extra_times is not None and extra_times:
+                t_hi = max(t_hi, max(extra_times))
+                n += len(extra_times)
+            span = t_hi - self._now
+            self._width = (span / n) if (span > 0.0 and n > 0) else 1.0
+        for entry in entries:
+            self._bucket_insert(entry)
+
+    def _peek_entry(self) -> tuple[float, int, Event] | None:
+        """The next live entry, still stored (cancelled ones are dropped)."""
+        if not self._bucketed:
+            heap = self._heap
+            while heap:
+                entry = heap[0]
+                if entry[2].cancelled:
+                    heapq.heappop(heap)
+                    self._stored -= 1
+                    continue
+                return entry
+            return None
+        while True:
+            cur = self._cur
+            while cur:
+                entry = cur[-1]
+                if entry[2].cancelled:
+                    cur.pop()
+                    self._stored -= 1
+                    continue
+                return entry
+            # Open the next occupied bucket: sort once, drain from the end.
+            bkeys = self._bkeys
+            if not bkeys:
+                return None
+            key = heapq.heappop(bkeys)
+            b = self._buckets.pop(key, None)
+            if b:
+                b.sort(reverse=True)
+                self._cur = b
+                self._cur_key = key
+
+    def _pop_entry(self) -> None:
+        """Remove the entry :meth:`_peek_entry` just returned."""
+        if not self._bucketed:
+            heapq.heappop(self._heap)
+        else:
+            self._cur.pop()
+        self._stored -= 1
+
+    # -- cancellation bookkeeping ----------------------------------------
+
+    def _note_cancel(self, ev: Event) -> None:
+        """First cancel of a tracked event: counter + compaction + trace."""
+        self._pending -= 1
+        if self._pending < 0:
+            self._pending = 0
+            raise SimulationError(
+                f"pending counter underflow cancelling {ev.label or 'event'}")
+        if self._tracer is not None:
+            self._tracer.instant("sim.engine.cancel", cat="sim",
+                                 track="sim", label=ev.label, t=ev.time)
+        # Compaction: cancelled entries linger in the scheduler until
+        # popped, so a cancel-heavy workload (hedged launches, straggler
+        # replacement) would otherwise bloat every peek and pop.  Once
+        # they exceed half the stored population, rebuild without them.
+        if (self._stored - self._pending > (self._stored >> 1)
+                and self._stored > _COMPACT_MIN):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry from the scheduler structures."""
+        if not self._bucketed:
+            self._heap = [e for e in self._heap if not e[2].cancelled]
+            heapq.heapify(self._heap)
+        else:
+            self._cur = [e for e in self._cur if not e[2].cancelled]
+            buckets = {}
+            for key, entries in self._buckets.items():
+                kept = [e for e in entries if not e[2].cancelled]
+                if kept:
+                    buckets[key] = kept
+            self._buckets = buckets
+            self._bkeys = list(buckets)
+            heapq.heapify(self._bkeys)
+        # Every cancelled entry is gone, so exactly the live ones remain.
+        self._stored = self._pending
+
     # -- execution -------------------------------------------------------
+
+    def _fire(self, entry: tuple[float, int, Event]) -> Event:
+        """Consume one live entry (already removed from its lane)."""
+        ev = entry[2]
+        ev._consumed = True
+        ev._tracked = False
+        self._pending -= 1
+        self._now = entry[0]
+        self._fired += 1
+        if self._fired > self.max_events:
+            raise SimulationError(f"runaway simulation: >{self.max_events} events")
+        if self._tracer is not None:
+            self._tracer.instant("sim.engine.fire", cat="sim",
+                                 track="sim", label=ev.label)
+        ev.callback()
+        return ev
 
     def step(self) -> Optional[Event]:
         """Fire the next pending event; return it, or ``None`` if drained."""
-        while self._heap:
-            entry = heapq.heappop(self._heap)
-            ev = entry.event
-            if ev.cancelled:
-                continue
-            ev._consumed = True
-            ev._tracked = False
-            self._pending -= 1
-            self._now = entry.time
-            self._fired += 1
-            if self._fired > self.max_events:
-                raise SimulationError(f"runaway simulation: >{self.max_events} events")
-            if self._tracer is not None:
-                self._tracer.instant("sim.engine.fire", cat="sim",
-                                     track="sim", label=ev.label)
-            ev.callback()
-            return ev
-        return None
+        entry = self._peek_entry()
+        if entry is None:
+            return None
+        self._pop_entry()
+        return self._fire(entry)
 
     def run(self, until: float | None = None) -> float:
-        """Fire events until the heap drains (or simulated ``until`` passes).
+        """Fire events until the scheduler drains (or ``until`` passes).
 
         Returns the final simulated time.  With ``until`` set, events at
         times strictly greater than ``until`` remain pending and the clock
         is advanced to ``until``.
         """
+        if self._tracer is None:
+            return self._run_fast(until)
         t_start, fired_before = self._now, self._fired
         try:
-            while self._heap:
-                nxt = self._peek_time()
-                if until is not None and nxt is not None and nxt > until:
-                    self._now = max(self._now, until)
-                    return self._now
-                if self.step() is None:
-                    break
-            if until is not None:
-                self._now = max(self._now, until)
-            return self._now
+            return self._run_fast(until)
         finally:
-            if self._tracer is not None and self._now > t_start:
+            if self._now > t_start:
                 self._tracer.add_span("sim.engine.run", t_start, self._now,
                                       cat="sim", track="sim",
                                       fired=self._fired - fired_before)
 
+    def _run_fast(self, until: float | None) -> float:
+        """The hot loop: peek / bound-check / fire, nothing else."""
+        peek = self._peek_entry
+        pop = self._pop_entry
+        fire = self._fire
+        if until is None:
+            while True:
+                entry = peek()
+                if entry is None:
+                    return self._now
+                pop()
+                fire(entry)
+        while True:
+            entry = peek()
+            if entry is None or entry[0] > until:
+                break
+            pop()
+            fire(entry)
+        if until > self._now:
+            self._now = until
+        return self._now
+
     def _peek_time(self) -> Optional[float]:
-        while self._heap and self._heap[0].event.cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        entry = self._peek_entry()
+        return entry[0] if entry is not None else None
 
     @property
     def pending(self) -> int:
@@ -204,6 +496,16 @@ class SimulationEngine:
 
         Maintained as a live counter (incremented on schedule, decremented
         on fire and on first cancel) so runners polling it per event stay
-        O(1) instead of rescanning the whole heap.
+        O(1) instead of rescanning the scheduler.
         """
         return self._pending
+
+    @property
+    def stored_entries(self) -> int:
+        """Entries physically held by the scheduler, cancelled included.
+
+        The compaction guarantee is ``stored_entries <= 2 * pending`` (up
+        to the :data:`_COMPACT_MIN` floor) — cancel-heavy workloads cannot
+        grow this without bound.
+        """
+        return self._stored

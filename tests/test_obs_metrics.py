@@ -134,3 +134,48 @@ class TestDisabledFastPath:
         reg.histogram("a.d").observe(5)
         assert reg.snapshot() == \
             {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestDumpMerge:
+    def test_dump_roundtrip_equals_merge(self):
+        import pickle
+
+        from repro.obs.metrics import MetricsRegistry
+
+        src = MetricsRegistry()
+        src.counter("a.b.count").inc(3)
+        src.counter("a.b.count", zone="us-east-1a").inc(2)
+        src.gauge("a.b.level").set(7.5)
+        src.histogram("a.b.seconds").observe(0.3)
+        src.histogram("a.b.seconds").observe(42.0)
+
+        dump = pickle.loads(pickle.dumps(src.dump()))
+        via_dump = MetricsRegistry()
+        via_dump.merge_dump(dump)
+        via_merge = MetricsRegistry()
+        via_merge.merge(src)
+        assert via_dump.snapshot() == via_merge.snapshot() == src.snapshot()
+
+    def test_merge_dump_accumulates(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        a = MetricsRegistry()
+        a.counter("x.y.n").inc(1)
+        b = MetricsRegistry()
+        b.counter("x.y.n").inc(2)
+        target = MetricsRegistry()
+        target.merge_dump(a.dump())
+        target.merge_dump(b.dump())
+        assert target.value("x.y.n") == 3
+
+    def test_merge_dump_kind_mismatch_rejected(self):
+        import pytest
+
+        from repro.obs.metrics import MetricsError, MetricsRegistry
+
+        a = MetricsRegistry()
+        a.counter("x.y.n").inc(1)
+        target = MetricsRegistry()
+        target.gauge("x.y.n").set(1.0)
+        with pytest.raises(MetricsError):
+            target.merge_dump(a.dump())

@@ -197,3 +197,55 @@ class TestJsonlExport:
         assert [r["type"] for r in recs] == ["instant", "span"]
         assert recs[0]["t"] == 3.0
         assert recs[1]["t0"] == 5.0
+
+
+class TestBulkSpans:
+    def test_add_spans_records_column(self):
+        from repro.obs.trace import Tracer
+
+        tr = Tracer()
+        n = tr.add_spans("runner.task.run", [0.0, 1.0, 2.0],
+                         [5.0, 6.0, 7.0], cat="runner", track="fleet")
+        assert n == 3
+        assert tr.span_count == 3
+        spans = tr.spans
+        assert [s.t0 for s in spans] == [0.0, 1.0, 2.0]
+        assert all(s.name == "runner.task.run" for s in spans)
+        assert all(s.args == {} for s in spans)
+
+    def test_add_spans_validates_before_recording(self):
+        import pytest
+
+        from repro.obs.trace import Tracer
+
+        tr = Tracer()
+        with pytest.raises(ValueError):
+            tr.add_spans("x.y", [0.0, 5.0], [1.0, 4.0])
+        assert tr.span_count == 0  # atomic: nothing landed
+
+    def test_add_spans_honours_max_records(self):
+        from repro.obs.trace import Tracer
+
+        tr = Tracer(max_records=5)
+        n = tr.add_spans("x.y", range(10), range(1, 11))
+        assert n == 5
+        assert tr.span_count == 5
+        assert tr.dropped == 5
+
+    def test_add_spans_disabled_is_noop(self):
+        from repro.obs.trace import Tracer
+
+        tr = Tracer(enabled=False)
+        assert tr.add_spans("x.y", [0.0], [1.0]) == 0
+        assert tr.span_count == 0
+
+    def test_lazy_materialization_is_stable(self):
+        from repro.obs.trace import Tracer
+
+        tr = Tracer()
+        tr.add_span("a.b", 0.0, 1.0)
+        first = tr.spans
+        tr.add_span("a.b", 2.0, 3.0)
+        second = tr.spans
+        assert len(first) == 1 and len(second) == 2
+        assert first[0] is second[0]  # cache, not re-materialised

@@ -194,5 +194,222 @@ class TestPendingCounter:
                 live.pop(rnd.randrange(len(live))).cancel()
             else:
                 eng.step()
-            scan = sum(1 for e in eng._heap if not e.event.cancelled)
+            scan = sum(1 for e in eng._heap if not e[2].cancelled)
             assert eng.pending == scan
+
+
+class TestUnderflowRaises:
+    """Satellite: the pending-counter underflow guard must survive
+    ``python -O`` — it raises :class:`SimulationError`, not ``assert``."""
+
+    def test_underflow_raises_simulation_error(self):
+        eng = SimulationEngine()
+        # A hand-built event claiming to be tracked, while the engine's
+        # counter is at zero: the only way to drive the counter negative.
+        rogue = Event(time=1.0, callback=lambda: None,
+                      _engine=eng, _tracked=True)
+        with pytest.raises(SimulationError, match="underflow"):
+            rogue.cancel()
+        # The counter is clamped back to zero, not left negative.
+        assert eng.pending == 0
+
+    def test_underflow_guard_not_an_assert(self):
+        import inspect
+
+        from repro.sim import engine as engine_mod
+
+        src = inspect.getsource(engine_mod.SimulationEngine._note_cancel)
+        assert "assert" not in src
+
+
+class TestCompaction:
+    """Satellite: cancelled entries must not accumulate without bound."""
+
+    def test_heap_size_stays_bounded_under_cancel_storm(self):
+        eng = SimulationEngine(scheduler="heap")
+        for round_ in range(50):
+            events = [eng.schedule_at(eng.now + 1.0 + i * 1e-3, lambda: None)
+                      for i in range(100)]
+            for ev in events:
+                ev.cancel()
+            # Compaction guarantee: stored <= 2 * pending (+ small floor).
+            assert eng.stored_entries <= max(2 * eng.pending, 128)
+        assert eng.pending == 0
+        assert eng.stored_entries <= 128
+
+    def test_bucket_size_stays_bounded_under_cancel_storm(self):
+        eng = SimulationEngine(scheduler="bucket")
+        for round_ in range(50):
+            events = [eng.schedule_at(eng.now + 1.0 + i * 1e-3, lambda: None)
+                      for i in range(100)]
+            for ev in events:
+                ev.cancel()
+            assert eng.stored_entries <= max(2 * eng.pending, 128)
+        assert eng.pending == 0
+
+    def test_compaction_preserves_live_events(self):
+        eng = SimulationEngine(scheduler="heap")
+        log = []
+        keep = [eng.schedule_at(float(i), lambda i=i: log.append(i))
+                for i in range(10)]
+        doomed = [eng.schedule_at(100.0 + i, lambda: log.append(-1))
+                  for i in range(200)]
+        for ev in doomed:
+            ev.cancel()
+        assert keep  # silence unused warning
+        eng.run()
+        assert log == list(range(10))
+
+
+class TestScheduleBatch:
+    def test_batch_fires_in_order(self):
+        eng = SimulationEngine()
+        log = []
+        eng.schedule_batch(
+            [3.0, 1.0, 2.0],
+            [lambda: log.append("c"), lambda: log.append("a"),
+             lambda: log.append("b")],
+        )
+        eng.run()
+        assert log == ["a", "b", "c"]
+
+    def test_batch_broadcast_callback_and_label(self):
+        eng = SimulationEngine()
+        log = []
+        events = eng.schedule_batch([1.0, 2.0, 3.0],
+                                    lambda: log.append(eng.now),
+                                    "tick")
+        assert [ev.label for ev in events] == ["tick"] * 3
+        eng.run()
+        assert log == [1.0, 2.0, 3.0]
+
+    def test_batch_ties_fire_in_input_order(self):
+        eng = SimulationEngine()
+        log = []
+        eng.schedule_batch(
+            [2.0, 2.0, 2.0],
+            [lambda: log.append("a"), lambda: log.append("b"),
+             lambda: log.append("c")],
+        )
+        eng.run()
+        assert log == ["a", "b", "c"]
+
+    def test_batch_matches_loop_of_schedule_at(self):
+        import random as _random
+
+        rnd = _random.Random(7)
+        times = [rnd.uniform(0, 50) for _ in range(400)]
+        log_a, log_b = [], []
+        eng_a = SimulationEngine()
+        for i, t in enumerate(times):
+            eng_a.schedule_at(t, lambda i=i: log_a.append(i), label=f"e{i}")
+        eng_b = SimulationEngine()
+        eng_b.schedule_batch(
+            times,
+            [lambda i=i: log_b.append(i) for i in range(len(times))],
+            [f"e{i}" for i in range(len(times))],
+        )
+        eng_a.run()
+        eng_b.run()
+        assert log_a == log_b
+        assert eng_a.now == eng_b.now
+
+    def test_batch_rejects_past_times_atomically(self):
+        eng = SimulationEngine()
+        eng.schedule_at(5.0, lambda: None)
+        eng.run()
+        with pytest.raises(SimulationError):
+            eng.schedule_batch([6.0, 1.0], lambda: None)
+        assert eng.pending == 0
+
+    def test_batch_length_mismatch(self):
+        eng = SimulationEngine()
+        with pytest.raises(SimulationError):
+            eng.schedule_batch([1.0, 2.0], [lambda: None])
+        with pytest.raises(SimulationError):
+            eng.schedule_batch([1.0, 2.0], lambda: None, ["a"])
+
+    def test_empty_batch(self):
+        eng = SimulationEngine()
+        assert eng.schedule_batch([], lambda: None) == []
+
+    def test_batch_pending_counter(self):
+        eng = SimulationEngine()
+        events = eng.schedule_batch([1.0, 2.0, 3.0], lambda: None)
+        assert eng.pending == 3
+        events[1].cancel()
+        assert eng.pending == 2
+        eng.run()
+        assert eng.pending == 0
+
+
+class TestBucketScheduler:
+    def test_explicit_bucket_mode(self):
+        eng = SimulationEngine(scheduler="bucket")
+        assert eng.scheduler == "bucket"
+        log = []
+        eng.schedule_at(5.0, lambda: log.append("b"))
+        eng.schedule_at(1.0, lambda: log.append("a"))
+        eng.schedule_at(9.0, lambda: log.append("c"))
+        eng.run()
+        assert log == ["a", "b", "c"]
+
+    def test_auto_migrates_past_threshold(self):
+        from repro.sim.engine import AUTO_BUCKET_THRESHOLD
+
+        eng = SimulationEngine()
+        assert eng.scheduler == "heap"
+        for i in range(AUTO_BUCKET_THRESHOLD + 1):
+            eng.schedule_at(float(i), lambda: None)
+        assert eng.scheduler == "bucket"
+        eng.run()
+        assert eng.events_fired == AUTO_BUCKET_THRESHOLD + 1
+
+    def test_heap_mode_never_migrates(self):
+        eng = SimulationEngine(scheduler="heap")
+        for i in range(1000):
+            eng.schedule_at(float(i), lambda: None)
+        assert eng.scheduler == "heap"
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine(scheduler="wheel")
+
+    def test_bucket_schedule_behind_open_bucket(self):
+        """run(until=...) can open a far-future bucket; a later schedule
+        that precedes it must still fire first."""
+        eng = SimulationEngine(scheduler="bucket", bucket_width=1.0)
+        log = []
+        eng.schedule_at(50.0, lambda: log.append("far"))
+        eng.run(until=10.0)  # peeks: opens the t=50 bucket
+        eng.schedule_at(11.0, lambda: log.append("near"))
+        eng.run()
+        assert log == ["near", "far"]
+
+    def test_bucket_ties_fire_in_scheduling_order(self):
+        eng = SimulationEngine(scheduler="bucket", bucket_width=10.0)
+        log = []
+        for tag in "abcdef":
+            eng.schedule_at(2.0, lambda t=tag: log.append(t))
+        eng.run()
+        assert log == list("abcdef")
+
+    def test_bucket_run_until(self):
+        eng = SimulationEngine(scheduler="bucket")
+        log = []
+        eng.schedule_at(1.0, lambda: log.append(1))
+        eng.schedule_at(10.0, lambda: log.append(10))
+        t = eng.run(until=5.0)
+        assert log == [1]
+        assert t == 5.0
+        assert eng.pending == 1
+        eng.run()
+        assert log == [1, 10]
+
+    def test_degenerate_width_all_same_time(self):
+        eng = SimulationEngine(scheduler="bucket")
+        log = []
+        for i in range(20):
+            eng.schedule_at(4.0, lambda i=i: log.append(i))
+        eng.run()
+        assert log == list(range(20))

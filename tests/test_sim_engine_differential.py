@@ -1,0 +1,211 @@
+"""Differential oracle: bucketed scheduler ≡ heap scheduler, bit for bit.
+
+The calendar-queue scheduler is a pure data-structure swap — the engine's
+observable behaviour (which events fire, in what order, at what clock
+readings) must be *identical* to the binary-heap reference, not merely
+equivalent.  Two layers of evidence:
+
+* a hypothesis property drives both engines through the same random
+  program of ``schedule`` / ``schedule_batch`` / ``cancel`` /
+  ``run-until`` operations (including callbacks that schedule follow-ups
+  while firing) and compares the full firing transcript;
+* whole campaigns — scalar ``execute_plan`` under chaos scenarios and the
+  columnar fleet runner — run on ``Cloud(scheduler="heap")`` vs
+  ``Cloud(scheduler="bucket")`` and must produce identical reports,
+  ledgers and timelines across seeds × scenarios.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import PosCostProfile, PosTaggerApplication
+from repro.chaos import FaultInjector, get_scenario
+from repro.cloud import Cloud, Workload
+from repro.core import StaticProvisioner, reshape
+from repro.corpus import text_400k_like
+from repro.perfmodel.regression import fit_affine
+from repro.runner import execute_plan, execute_uniform_fleet
+from repro.sim.engine import SimulationEngine
+
+# ---------------------------------------------------------------------------
+# random engine programs
+# ---------------------------------------------------------------------------
+
+# One op per tuple; all times are relative so programs stay legal on any
+# clock.  ("chain", dt, dt2) schedules a callback that, while firing,
+# schedules a second event dt2 later — exercising insert-during-fire.
+_OPS = st.one_of(
+    st.tuples(st.just("schedule"),
+              st.floats(0.0, 500.0, allow_nan=False, allow_infinity=False)),
+    st.tuples(st.just("batch"),
+              st.lists(st.floats(0.0, 500.0, allow_nan=False,
+                                 allow_infinity=False),
+                       min_size=1, max_size=20)),
+    st.tuples(st.just("chain"),
+              st.floats(0.0, 200.0, allow_nan=False, allow_infinity=False),
+              st.floats(0.0, 200.0, allow_nan=False, allow_infinity=False)),
+    st.tuples(st.just("cancel"), st.integers(0, 10_000)),
+    st.tuples(st.just("run"),
+              st.floats(0.0, 300.0, allow_nan=False, allow_infinity=False)),
+    st.tuples(st.just("step"),),
+)
+
+PROGRAMS = st.lists(_OPS, min_size=1, max_size=40)
+
+
+def _interpret(engine: SimulationEngine, program) -> dict:
+    """Run a program; return the full observable transcript."""
+    fired: list[tuple[float, str, int]] = []
+    handles: list = []
+    n = 0
+
+    def logger(label):
+        def cb():
+            fired.append((engine.now, label, engine.events_fired))
+        return cb
+
+    def chained(label, dt2):
+        def cb():
+            fired.append((engine.now, label, engine.events_fired))
+            handles.append(engine.schedule_in(
+                dt2, logger(f"{label}.child"), label=f"{label}.child"))
+        return cb
+
+    for op in program:
+        kind = op[0]
+        if kind == "schedule":
+            label = f"ev{n}"
+            n += 1
+            handles.append(engine.schedule_in(op[1], logger(label), label=label))
+        elif kind == "batch":
+            labels = [f"b{n + i}" for i in range(len(op[1]))]
+            n += len(op[1])
+            handles.extend(engine.schedule_batch(
+                [engine.now + dt for dt in op[1]],
+                [logger(lb) for lb in labels], labels))
+        elif kind == "chain":
+            label = f"c{n}"
+            n += 1
+            handles.append(engine.schedule_in(
+                op[1], chained(label, op[2]), label=label))
+        elif kind == "cancel":
+            if handles:
+                handles[op[1] % len(handles)].cancel()
+        elif kind == "run":
+            engine.run(until=engine.now + op[1])
+        elif kind == "step":
+            engine.step()
+    # drain whatever is left so late events are compared too
+    engine.run()
+    return {
+        "fired": fired,
+        "now": engine.now,
+        "events_fired": engine.events_fired,
+        "pending": engine.pending,
+    }
+
+
+class TestRandomPrograms:
+    @settings(max_examples=120, deadline=None)
+    @given(program=PROGRAMS,
+           width=st.sampled_from([None, 0.25, 1.0, 37.5, 1000.0]))
+    def test_heap_and_bucket_transcripts_identical(self, program, width):
+        heap = _interpret(SimulationEngine(scheduler="heap"), program)
+        bucket = _interpret(
+            SimulationEngine(scheduler="bucket", bucket_width=width), program)
+        assert heap == bucket
+
+    @settings(max_examples=40, deadline=None)
+    @given(program=PROGRAMS)
+    def test_auto_migration_transcript_identical(self, program):
+        """auto starts on the heap and may migrate mid-run; same transcript."""
+        heap = _interpret(SimulationEngine(scheduler="heap"), program)
+        auto = _interpret(SimulationEngine(scheduler="auto"), program)
+        assert heap == auto
+
+    @settings(max_examples=40, deadline=None)
+    @given(times=st.lists(st.floats(0.0, 100.0, allow_nan=False,
+                                    allow_infinity=False),
+                          min_size=2, max_size=30))
+    def test_equal_times_fire_in_schedule_order(self, times):
+        """Ties break by scheduling sequence on both schedulers."""
+        dup = times + times[:5]          # force collisions
+        results = []
+        for scheduler in ("heap", "bucket"):
+            eng = SimulationEngine(scheduler=scheduler)
+            order = []
+            for i, t in enumerate(dup):
+                eng.schedule_at(t, lambda i=i: order.append(i), label=str(i))
+            eng.run()
+            results.append(order)
+        assert results[0] == results[1]
+
+
+# ---------------------------------------------------------------------------
+# whole campaigns, heap vs bucket
+# ---------------------------------------------------------------------------
+
+def _model():
+    x = np.array([1e5, 1e6, 5e6])
+    return fit_affine(x, 0.327 + 0.865e-4 * x)
+
+
+def _workload():
+    return Workload("postag", PosTaggerApplication(), PosCostProfile())
+
+
+def _plan(deadline=30.0):
+    cat = text_400k_like(scale=1e-3)
+    units = list(reshape(cat, None).units)
+    return StaticProvisioner(_model()).plan(units, deadline)
+
+
+def _report_fingerprint(cloud: Cloud, report) -> tuple:
+    return (
+        tuple((r.instance_id, r.boot_delay, r.duration, r.missed(30.0))
+              for r in report.runs),
+        report.makespan,
+        report.instance_hours,
+        cloud.ledger.total_cost,
+        cloud.engine.now,
+        cloud.engine.events_fired,
+    )
+
+
+class TestCampaignEquality:
+    @pytest.mark.parametrize("seed", [11, 23])
+    @pytest.mark.parametrize("scenario", ["flaky-boots", "slow-ebs"])
+    def test_chaos_campaign_bit_identical(self, seed, scenario):
+        plan = _plan()
+        fingerprints = []
+        for scheduler in ("heap", "bucket"):
+            injector = FaultInjector([get_scenario(scenario)], seed=seed)
+            cloud = Cloud(seed=seed, chaos=injector, scheduler=scheduler)
+            report = execute_plan(cloud, _workload(), plan)
+            fingerprints.append(_report_fingerprint(cloud, report))
+        assert fingerprints[0] == fingerprints[1]
+
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_clean_campaign_bit_identical(self, seed):
+        plan = _plan()
+        fingerprints = []
+        for scheduler in ("heap", "bucket"):
+            cloud = Cloud(seed=seed, scheduler=scheduler)
+            report = execute_plan(cloud, _workload(), plan)
+            fingerprints.append(_report_fingerprint(cloud, report))
+        assert fingerprints[0] == fingerprints[1]
+
+    def test_columnar_fleet_bit_identical(self):
+        cat = text_400k_like(scale=1e-3)
+        units = list(reshape(cat, None).units)[:6]
+        results = []
+        for scheduler in ("heap", "bucket"):
+            cloud = Cloud(seed=29, scheduler=scheduler)
+            rep = execute_uniform_fleet(
+                cloud, _workload(), 500, units, deadline=3600.0)
+            results.append((rep.durations.tolist(), rep.ends.tolist(),
+                            rep.makespan, rep.n_missed,
+                            cloud.ledger.total_cost, cloud.engine.now))
+        assert results[0] == results[1]
