@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: test bench bench-json experiments reproduce examples figures clean
+.PHONY: test bench bench-json perf-gate experiments reproduce examples figures clean
 
 test:
 	$(PY) -m pytest tests/
@@ -15,6 +15,11 @@ bench:
 LABEL ?= local
 bench-json:
 	PYTHONPATH=src $(PY) scripts/bench_packing_trajectory.py --run --label "$(LABEL)"
+
+# Re-measure the tracked perf headlines and gate them against the newest
+# committed BENCH_packing.json entry (REPRO_GATE_THRESHOLD to widen).
+perf-gate:
+	PYTHONPATH=src $(PY) scripts/bench_packing_trajectory.py --check
 
 experiments:
 	$(PY) scripts/generate_experiments_md.py
@@ -29,5 +34,5 @@ figures:
 	$(PY) -m repro.cli figures --all
 
 clean:
-	rm -rf .pytest_cache .benchmarks src/repro.egg-info
+	rm -rf .pytest_cache .benchmarks .repro src/repro.egg-info
 	find . -name __pycache__ -type d -exec rm -rf {} +

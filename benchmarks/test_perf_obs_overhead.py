@@ -91,6 +91,93 @@ def test_tracer_off_overhead_on_100k_pack(benchmark):
         f"{OVERHEAD_BUDGET:.0%} in {ATTEMPTS} attempts ({overheads})")
 
 
+def test_tracer_off_overhead_on_bucket_storm(benchmark):
+    """A disabled tracer on the bucket scheduler must match tracer-None.
+
+    ``SimulationEngine`` normalises a disabled tracer to ``None`` so the
+    hot loop stays branch-free; if that normalisation is ever lost, every
+    disabled-observability engine run pays a per-event tracer branch.
+    This guard measures the 100k-event storm both ways and holds the
+    delta under 3%.
+    """
+    from repro.obs.trace import Tracer
+    from repro.sim.engine import SimulationEngine
+
+    n = 100_000
+    times = [((i * 2654435761) & 0xFFFFF) / 16.0 for i in range(n)]
+
+    def _noop():
+        pass
+
+    def storm(tracer):
+        engine = SimulationEngine(tracer=tracer, scheduler="bucket")
+        engine.schedule_batch(times, _noop, "storm")
+        engine.run()
+        assert engine.events_fired == n
+
+    def instrumented():
+        storm(Tracer(enabled=False))
+
+    def baseline():
+        storm(None)
+
+    instrumented(), baseline()            # shared warmup
+    overheads = []
+    for _ in range(ATTEMPTS + 1):         # 100k-event rounds: one extra retry
+        overheads.append(_paired_overhead(instrumented, baseline, rounds=10))
+        if overheads[-1] < OVERHEAD_BUDGET:
+            break
+    benchmark.pedantic(instrumented, rounds=3, iterations=1)
+    assert min(overheads) < OVERHEAD_BUDGET, (
+        f"disabled-tracer bucket storm overhead {min(overheads):.1%} "
+        f"exceeds {OVERHEAD_BUDGET:.0%} in {len(overheads)} attempts "
+        f"({overheads})")
+
+
+def test_obs_off_overhead_on_columnar_fleet(benchmark):
+    """Flight-recorder emission must not tax the columnar fast path.
+
+    The columnar runner consults ``get_run_ledger()`` once per column and,
+    when a ledger is active, serialises one record.  With observability
+    disabled that record is small (no metrics dump, no span rollup), so a
+    ledgered 20k-member fleet run must stay within 3% of an un-ledgered
+    one — the guard that keeps always-on flight recording viable.
+    """
+    from repro.apps import GrepApplication, GrepCostProfile
+    from repro.cloud import Cloud, Workload
+    from repro.core import reshape
+    from repro.corpus import text_400k_like
+    from repro.obs.ledger import RunLedger, set_run_ledger
+    from repro.runner import execute_uniform_fleet
+
+    assert not get_obs().enabled, "bench requires the disabled default"
+    workload = Workload("scan", GrepApplication(), GrepCostProfile())
+    units = list(reshape(text_400k_like(scale=1e-3), None).units)[:6]
+    n = 20_000
+
+    def run_fleet():
+        execute_uniform_fleet(Cloud(seed=42), workload, n, units,
+                              deadline=3600.0)
+
+    def instrumented():
+        previous = set_run_ledger(RunLedger(None))
+        try:
+            run_fleet()
+        finally:
+            set_run_ledger(previous)
+
+    instrumented(), run_fleet()           # shared warmup
+    overheads = []
+    for _ in range(ATTEMPTS):
+        overheads.append(_paired_overhead(instrumented, run_fleet, rounds=8))
+        if overheads[-1] < OVERHEAD_BUDGET:
+            break
+    benchmark.pedantic(instrumented, rounds=3, iterations=1)
+    assert min(overheads) < OVERHEAD_BUDGET, (
+        f"ledgered columnar fleet overhead {min(overheads):.1%} exceeds "
+        f"{OVERHEAD_BUDGET:.0%} in {ATTEMPTS} attempts ({overheads})")
+
+
 def test_disabled_tracer_span_is_nanoseconds(benchmark):
     """The no-op span handout must stay an identity return, not an alloc."""
     from repro.obs.trace import NULL_SPAN, Tracer

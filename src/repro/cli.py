@@ -12,20 +12,29 @@ Usage::
                                                    # same grid, all cores
     python -m repro.cli trace quickstart --out trace.json
                                                    # traced demo run
+    python -m repro.cli runs list                  # the persistent run ledger
+    python -m repro.cli runs diff -2 -1            # compare the last two runs
+    python -m repro.cli runs slo                   # chaos SLO verdicts
 
 Any subcommand accepts ``--metrics`` to print the metrics table the run
 accumulated; ``trace`` additionally records spans and writes a Chrome
 ``trace_event`` file loadable in ``chrome://tracing`` / Perfetto.
+
+Every run-producing subcommand appends flight-recorder records to the
+JSONL ledger under ``.repro/runs/`` (``--runs-dir`` to relocate,
+``--no-ledger`` to disable); the ``runs`` subcommands query that history.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 from pathlib import Path
 from typing import Callable
 
 from repro.obs import configure, disable, get_logger, install
 from repro.obs.export import render_metrics_table, write_chrome_trace, write_jsonl
+from repro.obs.ledger import RunLedger, set_run_ledger
 from repro.report.figures import FigureResult, render_ascii
 
 __all__ = ["main", "FIGURES", "DEMOS"]
@@ -253,8 +262,26 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 "both": (True, False)}[args.policy]
     seeds = tuple(DEFAULT_SEEDS[i % len(DEFAULT_SEEDS)] + 100 * (i // len(DEFAULT_SEEDS))
                   for i in range(args.seeds))
-    fig, stats = chaos_sweep(names, seeds=seeds, policies=policies,
-                             processes=args.processes)
+    from repro.obs import get_obs
+    from repro.obs.ledger import encode_metrics_dump
+
+    # --metrics-out needs a live registry even when --metrics wasn't given.
+    local_obs = None
+    if args.metrics_out and not get_obs().metrics.enabled:
+        local_obs = configure(trace=False)
+    try:
+        fig, stats = chaos_sweep(names, seeds=seeds, policies=policies,
+                                 processes=args.processes)
+        if args.metrics_out:
+            registry = get_obs().metrics
+            payload = {"schema_version": 1,
+                       "metrics": encode_metrics_dump(registry.dump())}
+            Path(args.metrics_out).write_text(
+                json.dumps(payload, sort_keys=True) + "\n", encoding="utf-8")
+            _log.info("wrote merged sweep metrics to %s", args.metrics_out)
+    finally:
+        if local_obs is not None:
+            disable()
     print(render_ascii(fig))
     print()
     n_cells = len(names) * len(policies) * len(seeds)
@@ -269,6 +296,82 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             for p in ("on", "off") if p in row)
         print(f"{name:>16}  {cells}")
     return 0
+
+
+def _ledger_for(args: argparse.Namespace) -> RunLedger:
+    return RunLedger(args.runs_dir)
+
+
+def cmd_runs_list(args: argparse.Namespace) -> int:
+    """``runs list``: one line per ledger record, oldest first."""
+    ledger = _ledger_for(args)
+    records = ledger.records(kind=args.kind or None, label=args.label or None)
+    if not records:
+        print(f"(no run records under {ledger.root})")
+        return 0
+    rows = [("run_id", "kind", "label", "created", "bins", "missed",
+             "cost_usd", "wall_s")]
+    for r in records:
+        rows.append((
+            r.run_id, r.kind, r.label, r.created_at,
+            str(r.get("deadline.bins", "-")),
+            str(r.get("deadline.missed", "-")),
+            f"{r.get('billing.cost_usd'):.4f}"
+            if r.get("billing.cost_usd") is not None else "-",
+            f"{r.get('profile.wall_s'):.3f}"
+            if r.get("profile.wall_s") is not None else "-",
+        ))
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    for row in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    print(f"{len(records)} records in {ledger.path}")
+    return 0
+
+
+def cmd_runs_show(args: argparse.Namespace) -> int:
+    """``runs show REF``: dump one record as pretty JSON."""
+    record = _ledger_for(args).resolve(args.ref)
+    print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_runs_diff(args: argparse.Namespace) -> int:
+    """``runs diff A B``: structured comparison of two ledger records."""
+    from repro.obs.diff import diff_runs, render_diff_table
+
+    ledger = _ledger_for(args)
+    a = ledger.resolve(args.a)
+    b = ledger.resolve(args.b)
+    diff = diff_runs(a, b, threshold=args.threshold,
+                     perf_threshold=args.perf_threshold)
+    print(render_diff_table(diff))
+    if args.strict and (not diff.clean or diff.perf_regressions):
+        return 3
+    return 0
+
+
+def cmd_runs_slo(args: argparse.Namespace) -> int:
+    """``runs slo``: evaluate the chaos campaign SLOs over the ledger."""
+    from repro.experiments.exp_chaos import CHAOS_SLOS
+    from repro.obs.slo import render_slo_table
+
+    ledger = _ledger_for(args)
+    records = ledger.records(kind="sweep-cell", label=args.label or None)
+    if not records:
+        print(f"(no sweep-cell records under {ledger.root}; "
+              "run `repro chaos` or `repro sweep` first)")
+        return 0
+    sides: dict[str, list] = {}
+    for r in records:
+        sides.setdefault(str(r.get("config.policy", "?")), []).append(r)
+    failed = False
+    for policy in sorted(sides):
+        report = CHAOS_SLOS.evaluate(sides[policy])
+        print(f"policy={policy}")
+        print(render_slo_table(report))
+        print()
+        failed = failed or not report.ok
+    return 3 if args.strict and failed else 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -358,7 +461,55 @@ def main(argv: list[str] | None = None) -> int:
                       help="number of campaign seeds to aggregate (default: 3)")
     p_sw.add_argument("--processes", type=int, default=None, metavar="P",
                       help="worker processes (default: all cores; 1 = inline)")
+    p_sw.add_argument("--metrics-out", metavar="PATH", default=None,
+                      help="write the merged sweep metrics dump as JSON")
     p_sw.set_defaults(fn=cmd_sweep)
+
+    p_runs = sub.add_parser(
+        "runs", help="query the persistent flight-recorder ledger")
+    runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
+
+    p_rl = runs_sub.add_parser("list", help="list recorded runs")
+    p_rl.add_argument("--kind", default=None, metavar="KIND",
+                      help="only records of this kind (runner, columnar, "
+                           "experiment, sweep-cell)")
+    p_rl.add_argument("--label", default=None, metavar="LABEL",
+                      help="only records with this label")
+    p_rl.set_defaults(fn=cmd_runs_list)
+
+    p_rs = runs_sub.add_parser("show", help="dump one record as JSON")
+    p_rs.add_argument("ref", metavar="REF",
+                      help="run id, or a negative index (-1 = latest)")
+    p_rs.set_defaults(fn=cmd_runs_show)
+
+    p_rd = runs_sub.add_parser("diff", help="compare two recorded runs")
+    p_rd.add_argument("a", metavar="A",
+                      help="baseline run id or negative index")
+    p_rd.add_argument("b", metavar="B",
+                      help="candidate run id or negative index")
+    p_rd.add_argument("--threshold", type=float, default=0.05, metavar="T",
+                      help="relative threshold for deterministic deltas "
+                           "(default: 0.05)")
+    p_rd.add_argument("--perf-threshold", type=float, default=0.15,
+                      metavar="T",
+                      help="relative threshold for wall-clock deltas "
+                           "(default: 0.15)")
+    p_rd.add_argument("--strict", action="store_true",
+                      help="exit 3 when the diff is dirty or a perf "
+                           "regression exceeds the threshold")
+    p_rd.set_defaults(fn=cmd_runs_diff)
+
+    p_rslo = runs_sub.add_parser(
+        "slo", help="evaluate chaos SLOs over recorded sweep cells")
+    p_rslo.add_argument("--label", default=None, metavar="LABEL",
+                        help="only records with this label")
+    p_rslo.add_argument("--strict", action="store_true",
+                        help="exit 3 when any policy side violates an SLO")
+    p_rslo.set_defaults(fn=cmd_runs_slo)
+
+    for p in (p_rl, p_rs, p_rd, p_rslo):
+        p.add_argument("--runs-dir", default=".repro/runs", metavar="DIR",
+                       help="ledger directory (default: .repro/runs)")
 
     p_tr = sub.add_parser("trace", help="run a demo with tracing enabled")
     p_tr.add_argument("demo", metavar="DEMO",
@@ -376,6 +527,11 @@ def main(argv: list[str] | None = None) -> int:
     for p in (p_fig, p_ds, p_qs, p_fl, p_ch, p_sw, p_tr):
         p.add_argument("--metrics", action="store_true",
                        help="print the metrics table after the run")
+        p.add_argument("--runs-dir", default=".repro/runs", metavar="DIR",
+                       help="flight-recorder ledger directory "
+                            "(default: .repro/runs)")
+        p.add_argument("--no-ledger", action="store_true",
+                       help="do not append run records to the ledger")
 
     try:
         args = parser.parse_args(argv)
@@ -384,18 +540,28 @@ def main(argv: list[str] | None = None) -> int:
         # subcommand, bad flag value); surface the status as a return
         # code so callers never see a traceback.
         return int(e.code or 0)
-    # ``trace`` and ``fleet`` manage their own Obs bundle (spans +
-    # metrics); the other subcommands only need the registry when
-    # --metrics is requested.
-    if args.fn in (cmd_trace, cmd_fleet):
-        return _dispatch(args)
-    obs = configure(trace=False) if args.metrics else None
+    # Run-producing subcommands record to the flight-recorder ledger;
+    # the ``runs`` query group only reads (via its own --runs-dir).
+    record = args.command != "runs" and not getattr(args, "no_ledger", False)
+    previous_ledger = (set_run_ledger(RunLedger(args.runs_dir))
+                       if record else None)
     try:
-        return _dispatch(args)
+        # ``trace`` and ``fleet`` manage their own Obs bundle (spans +
+        # metrics); the other subcommands only need the registry when
+        # --metrics is requested.
+        if args.fn in (cmd_trace, cmd_fleet):
+            return _dispatch(args)
+        obs = (configure(trace=False)
+               if getattr(args, "metrics", False) else None)
+        try:
+            return _dispatch(args)
+        finally:
+            if obs is not None:
+                _maybe_print_metrics(args, obs)
+                disable()
     finally:
-        if obs is not None:
-            _maybe_print_metrics(args, obs)
-            disable()
+        if record:
+            set_run_ledger(previous_ledger)
 
 
 def _dispatch(args: argparse.Namespace) -> int:

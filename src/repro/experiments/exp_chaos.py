@@ -34,6 +34,8 @@ from repro.cloud import Cloud, Workload
 from repro.core import StaticProvisioner, reshape
 from repro.corpus import text_400k_like
 from repro.obs import get_logger
+from repro.obs.ledger import RunRecord, get_run_ledger, record_experiment
+from repro.obs.slo import Objective, SloPolicy, SloReport, render_slo_table
 from repro.perfmodel.regression import fit_affine
 from repro.report.figures import FigureResult
 from repro.resilience import (
@@ -45,7 +47,8 @@ from repro.resilience import (
 from repro.runner import DynamicPolicy, execute_plan, execute_with_monitoring
 from repro.units import HOUR, KB, MB
 
-__all__ = ["run_cell", "chaos_sweep", "DEFAULT_SEEDS"]
+__all__ = ["run_cell", "chaos_sweep", "DEFAULT_SEEDS",
+           "CHAOS_SLOS", "evaluate_chaos_slos"]
 
 _log = get_logger("experiments.chaos")
 
@@ -60,6 +63,47 @@ PLANNING_DEADLINE = 0.5 * DEADLINE
 #: Corpus scale: sized so the uniform plan packs the campaign into a
 #: meaningful handful of bins (miss rates need denominators).
 SCALE = 0.7
+
+#: The campaign's declared service-level objectives, evaluated per policy
+#: side over every (scenario, seed) cell: the PR-4 acceptance bar (≤ 10%
+#: of bins miss the user deadline) plus a cost ceiling above the worst
+#: resilience-on scenario mean (slow-ebs, ≈ $1.76/cell) — resilience-on
+#: holds both, the unprotected baseline burns through the miss budget.
+CHAOS_SLOS = SloPolicy("chaos-campaign", (
+    Objective("miss-rate", "deadline", "<=", 0.10, aggregate="ratio",
+              num="deadline.missed", den="deadline.bins"),
+    Objective("mean-cost", "billing.cost_usd", "<=", 2.00, aggregate="mean"),
+))
+
+
+def _cell_records(stats: dict) -> dict[str, list[RunRecord]]:
+    """Cell-level run records per policy side, in scenario-then-seed order."""
+    records: dict[str, list[RunRecord]] = {}
+    for name, per_policy in stats.items():
+        for policy, agg in per_policy.items():
+            for cell in agg["cells"]:
+                records.setdefault(policy, []).append(RunRecord(
+                    kind="sweep-cell",
+                    label=f"exp_chaos.{name}.{policy}",
+                    config={"scenario": name, "policy": policy,
+                            "seed": cell["seed"]},
+                    billing={"cost_usd": cell["cost_usd"]},
+                    deadline={"missed": cell["missed"],
+                              "failed": cell["failed"],
+                              "bins": cell["bins"],
+                              "miss_rate": cell["miss_rate"]},
+                    extra={"replaced": cell["replaced"],
+                           "retrieval_s": cell["retrieval_s"],
+                           "faults_injected": cell["faults_injected"]},
+                ))
+    return records
+
+
+def evaluate_chaos_slos(stats: dict, *,
+                        slos: SloPolicy = CHAOS_SLOS) -> dict[str, SloReport]:
+    """Evaluate the campaign SLOs per policy side over a sweep's stats."""
+    return {policy: slos.evaluate(records)
+            for policy, records in _cell_records(stats).items()}
 
 
 def _workload() -> Workload:
@@ -269,4 +313,27 @@ def chaos_sweep(
         fig.note(f"resilience-on worst miss {max(on_rates):.3f}; "
                  f"resilience-off worst miss {max(off_rates):.3f} "
                  f"over {len(names)} scenarios x {len(seeds)} seeds")
+
+    # Flight recorder + SLOs: every cell becomes a ledger record, and the
+    # declared campaign objectives are judged per policy side — the
+    # experiment-level record carries the verdicts.
+    slo_reports = evaluate_chaos_slos(stats)
+    for report in slo_reports.values():
+        _log.info("%s", render_slo_table(report))
+    ledger = get_run_ledger()
+    if ledger is not None:
+        for records in _cell_records(stats).values():
+            for record in records:
+                ledger.append(record)
+    record_experiment(
+        "exp_chaos",
+        config={"scenarios": names, "seeds": list(seeds),
+                "policies": ["on" if p else "off" for p in policies]},
+        extra={
+            "slo": {p: r.to_dict() for p, r in slo_reports.items()},
+            "worst_miss": {p: max((stats[n][p]["miss_rate"] for n in names
+                                   if p in stats[n]), default=0.0)
+                           for p in ("on", "off")},
+        },
+    )
     return fig, stats

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.corpus import html_18mil_like, text_400k_like
+from repro.obs.ledger import record_experiment
 from repro.report.figures import FigureResult
 from repro.units import KB
 
@@ -28,6 +29,8 @@ def fig1a(scale: float = 2e-3, seed: int = 2010) -> tuple[FigureResult, dict]:
     }
     fig.note(f"{stats['files']} files, {stats['frac_under_50kb']:.0%} under 50 kB, "
              f"max {stats['max_mb']:.0f} MB (paper: majority <50 kB, max 43 MB)")
+    record_experiment("exp_fig1.fig1a",
+                      config={"scale": scale, "seed": seed}, extra=stats)
     return fig, stats
 
 
@@ -47,4 +50,6 @@ def fig1b(scale: float = 1e-2, seed: int = 2011) -> tuple[FigureResult, dict]:
     }
     fig.note(f"{stats['frac_under_1kb']:.0%} under 1 kB (paper: >40%), "
              f"max {stats['max_kb']:.0f} kB (paper: 705 kB)")
+    record_experiment("exp_fig1.fig1b",
+                      config={"scale": scale, "seed": seed}, extra=stats)
     return fig, stats

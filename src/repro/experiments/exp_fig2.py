@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.planner import StaticProvisioner
 from repro.perfmodel.regression import fit_power
+from repro.obs.ledger import record_experiment
 from repro.report.figures import FigureResult
 from repro.units import HOUR
 
@@ -55,4 +56,6 @@ def fig2(deadline_hours: float = 3.0) -> tuple[FigureResult, dict]:
              f"{out['convex_rule']}")
     fig.note(f"concave: {mv_cc['first_hour']:.3g} B vs {mv_cc['last_hour']:.3g} B -> "
              f"{out['concave_rule']}")
+    record_experiment("exp_fig2.fig2",
+                      config={"deadline_hours": deadline_hours}, extra=out)
     return fig, out

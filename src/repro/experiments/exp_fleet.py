@@ -38,6 +38,7 @@ from repro.fleet import (
     TenantRegistry,
 )
 from repro.obs import get_logger
+from repro.obs.ledger import record_experiment
 from repro.perfmodel.regression import fit_affine
 from repro.report.figures import FigureResult
 from repro.runner import execute_plan
@@ -178,4 +179,6 @@ def shared_vs_isolated(
              f"saving {stats['saving_pct']:.1f}% at miss rate "
              f"{stats['shared_miss_rate']:.3f} (isolated "
              f"{stats['isolated_miss_rate']:.3f})")
+    record_experiment("exp_fleet.shared_vs_isolated",
+                      config={"n_campaigns": n_campaigns}, extra=stats)
     return fig, stats

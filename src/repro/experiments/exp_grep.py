@@ -19,6 +19,7 @@ from repro.corpus import html_18mil_like
 from repro.perfmodel import ProbeCampaign, build_probe_set, fit_affine
 from repro.perfmodel.sampling import collect_sample_points, refit_with_samples
 from repro.report.figures import FigureResult
+from repro.obs.ledger import record_experiment
 from repro.units import GB, KB, MB
 from repro.vfs.files import Catalogue
 
@@ -75,6 +76,7 @@ def fig3(tb: GrepTestbed | None = None) -> tuple[FigureResult, dict]:
     max_cv = max(m.cv for m in res.values())
     fig.note(f"max coefficient of variation {max_cv:.2f} — discarded as too "
              "unstable, per the §4 protocol")
+    record_experiment("exp_grep.fig3", extra={"max_cv": max_cv})
     return fig, {"max_cv": max_cv, "means": {l: m.mean for l, m in res.items()}}
 
 
@@ -96,6 +98,7 @@ def fig4(tb: GrepTestbed | None = None) -> tuple[FigureResult, dict]:
     }
     fig.note(f"original files {out['orig_over_plateau']:.1f}x slower than the plateau; "
              f"plateau spread {out['plateau_spread']:.1%} across 10 MB–2 GB")
+    record_experiment("exp_grep.fig4", extra=out)
     return fig, out
 
 
@@ -125,6 +128,7 @@ def fig5(tb: GrepTestbed | None = None) -> tuple[FigureResult, dict]:
     fig.note(f"{len(spikes)} spike(s) above 1.25x the volume median; "
              f"re-measured ratios {['%.2f' % r for r in repeat_checks]} "
              "(repeatable, ruling out transient contention — §5.1)")
+    record_experiment("exp_grep.fig5", extra=out)
     return fig, out
 
 
@@ -205,4 +209,5 @@ def fig6(tb: GrepTestbed | None = None, *, n_devices: int = 10) -> tuple[FigureR
     fig.note(f"underestimate {out['underestimate']:+.0%} (paper: ~30%), "
              f"after refit {out['refit_underestimate']:+.0%} (paper: ~20%)")
     fig.note(f"reshaping improvement {out['improvement']:.1f}x (paper: 5.6x)")
+    record_experiment("exp_grep.fig6", extra=out)
     return fig, out

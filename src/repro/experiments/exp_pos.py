@@ -16,6 +16,7 @@ from repro.perfmodel import ProbeCampaign, build_probe_set
 from repro.perfmodel.regression import AffinePredictor, fit_affine
 from repro.perfmodel.sampling import collect_sample_points, refit_with_samples
 from repro.report.figures import FigureResult
+from repro.obs.ledger import record_experiment
 from repro.runner import execute_plan
 from repro.units import HOUR, KB, MB
 from repro.vfs.files import Catalogue
@@ -86,6 +87,7 @@ def fig7(tb: PosTestbed | None = None) -> tuple[FigureResult, dict]:
              "(paper: 2183 vs 1000)")
     fig.note(f"1000 kB units are {out['degradation_at_1000kb']:.2f}x the original "
              "segmentation — large files degrade the memory-bound tagger")
+    record_experiment("exp_pos.fig7", extra=out)
     return fig, out
 
 
@@ -174,6 +176,7 @@ def fig8(tb: PosTestbed | None = None, *, deadline: float = HOUR) -> tuple[Figur
              f"Eq4: f(x)={eq4.a:.3f}+{eq4.b:.3e}x (paper 3.086+0.7255e-4·x)")
     fig.note(f"adjusted deadline {d_adj:.0f}s for 10% miss odds "
              "(paper: 3124 s for D=3600)")
+    record_experiment("exp_pos.fig8", extra=out)
     return fig, out
 
 
@@ -196,6 +199,7 @@ def fig9(tb: PosTestbed | None = None, *, deadline: float = 2 * HOUR) -> tuple[F
         fig.note(f"{name}: {v['instances']} instances, {v['missed']} missed, "
                  f"{v['instance_hours']} instance-hours")
     out = {"variants": variants, "adjusted_deadline": d_adj, "adjustment_a": a}
+    record_experiment("exp_pos.fig9", extra=out)
     return fig, out
 
 
@@ -232,4 +236,5 @@ def novels() -> tuple[FigureResult, dict]:
     }
     fig.note(f"word counts {out['words']} (paper: 67,496 vs 67,755, gap <300)")
     fig.note(f"time ratio {out['ratio']:.2f}x (paper: 6m32s vs 3m48s = 1.72x)")
+    record_experiment("exp_pos.novels", extra=out)
     return fig, out

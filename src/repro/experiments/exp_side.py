@@ -10,6 +10,7 @@ from repro.cloud import Cloud, ExecutionService, Workload
 from repro.cloud.spot import SpotMarket, SpotRequest
 from repro.corpus import text_400k_like
 from repro.obs import get_logger
+from repro.obs.ledger import record_experiment
 from repro.report.figures import FigureResult
 from repro.sim.random import RngStream
 from repro.units import GB, KB, MB
@@ -89,6 +90,7 @@ def sampling_vitality(seed: int = 23) -> tuple[FigureResult, dict]:
             list(out), [out[k]["refit_error"] for k in out])
     fig.note("uniform corpus: sampling changes little; clustered corpus: "
              "head-only probing is badly biased and sampling rescues it")
+    record_experiment("exp_side.sampling_vitality", extra=out)
     return fig, out
 
 
@@ -174,6 +176,7 @@ def prediction_approaches(seed: int = 55, scale: float = 5e-3) -> tuple[FigureRe
     fig.add("predicted seconds (actual last)",
             list(preds) + ["actual"], list(preds.values()) + [actual])
     fig.note("errors: " + ", ".join(f"{k} {e:.1%}" for k, e in errors.items()))
+    record_experiment("exp_side.prediction_approaches", extra={"actual": actual, "predictions": preds, "errors": errors})
     return fig, {"actual": actual, "predictions": preds, "errors": errors}
 
 
@@ -207,6 +210,7 @@ def instance_switching(
     fig.note(f"keep: {out['keep_gb']:.0f} GB (paper ~210); swap gains "
              f"{out['extra_if_fast_gb']:.0f} GB if fast (paper ~57), loses "
              f"{out['lost_if_slow_gb']:.1f} GB if slow again (paper ~10)")
+    record_experiment("exp_side.instance_switching", extra=out)
     return fig, out
 
 
@@ -244,6 +248,7 @@ def probe_protocol_trace(seed: int = 31) -> tuple[FigureResult, dict]:
     }
     fig.note(f"escalated {out['rounds']} round(s): volumes {out['volumes']}, "
              f"final stable={out['stable']}")
+    record_experiment("exp_side.probe_protocol_trace", extra=out)
     return fig, out
 
 
@@ -265,6 +270,7 @@ def output_retrieval(n_fragments: int = 400, fragment_size: int = 250 * KB,
     out = {"fragmented_s": t_frag, "merged_s": t_merged,
            "speedup": t_frag / t_merged}
     fig.note(f"merged output retrieves {out['speedup']:.1f}x faster at equal volume")
+    record_experiment("exp_side.output_retrieval", extra=out)
     return fig, out
 
 
@@ -291,4 +297,5 @@ def spot_tradeoff(work_hours: float = 20.0, horizon: int = 400,
     }
     fig.note(f"on-demand: {work_hours:.0f} h for ${on_demand_cost:.2f}, "
              "guaranteed schedule; spot completes later but cheaper")
+    record_experiment("exp_side.spot_tradeoff", extra=out)
     return fig, out

@@ -15,7 +15,11 @@ keeping the repo's two non-negotiables:
   :class:`~repro.obs.metrics.MetricsRegistry` and ships a picklable
   :meth:`~repro.obs.metrics.MetricsRegistry.dump` home; the parent folds
   the dumps into its own registry via ``merge_dump``, so a sweep's
-  metrics look exactly as if every cell had run inline.
+  metrics look exactly as if every cell had run inline.  Run-ledger
+  records work the same way: when the parent has an active
+  :class:`~repro.obs.ledger.RunLedger`, each worker captures its cell's
+  records in-memory and ships them home as dicts, and the parent appends
+  them — so a pooled sweep's flight-recorder history matches inline.
 
 ``processes=0`` (or 1, or a single cell) falls back to running inline in
 the parent — the exact same code path minus pickling, used by tests and
@@ -57,6 +61,8 @@ class SweepResult:
     tags: list            # the cells' tags, input order
     metrics_dumps: list   # one MetricsRegistry.dump() per cell (may be empty)
     processes: int        # worker processes actually used (1 = inline)
+    run_records: list = field(default_factory=list)
+    # RunRecords the cells emitted (appended to the parent ledger too)
 
 
 def resolve(path: str) -> Callable:
@@ -82,28 +88,43 @@ def fork_seeds(base_seed: int, n: int, name: str = "sweep") -> list[int]:
     return [stable_seed(base_seed, f"{name}.{i}") >> 1 for i in range(n)]
 
 
-def _run_cell(spec: Cell, collect_metrics: bool) -> tuple[Any, list]:
-    """Execute one cell (worker side); returns (result, metrics dump)."""
+def _run_cell(spec: Cell, collect_metrics: bool,
+              collect_runs: bool) -> tuple[Any, list, list]:
+    """Execute one cell (worker side).
+
+    Returns ``(result, metrics dump, run-record dicts)`` — everything
+    picklable, so the triple crosses process boundaries unchanged.
+    """
     from repro.obs import MetricsRegistry, Obs, get_obs, set_obs
+    from repro.obs.ledger import capture_runs
 
     fn = resolve(spec.fn)
-    if not collect_metrics:
-        return fn(**spec.kwargs), []
-    # Run the cell under a private registry (the tracer, if any, is kept),
-    # so its metrics can be shipped home as a dump and merged — identical
-    # behaviour whether the cell runs inline or in a forked worker.
-    registry = MetricsRegistry()
-    previous = set_obs(Obs(tracer=get_obs().tracer, metrics=registry))
+    if not collect_metrics and not collect_runs:
+        return fn(**spec.kwargs), [], []
+    # Run the cell under a private registry (the tracer, if any, is kept)
+    # and, when the parent wants run records, a private in-memory ledger —
+    # both ship home as picklable dumps and merge, so behaviour is
+    # identical whether the cell runs inline or in a forked worker.
+    if collect_metrics:
+        registry = MetricsRegistry()
+        previous = set_obs(Obs(tracer=get_obs().tracer, metrics=registry))
     try:
-        result = fn(**spec.kwargs)
+        if collect_runs:
+            with capture_runs() as cell_ledger:
+                result = fn(**spec.kwargs)
+            records = [r.to_dict() for r in cell_ledger.records()]
+        else:
+            result = fn(**spec.kwargs)
+            records = []
     finally:
-        set_obs(previous)
-    return result, registry.dump()
+        if collect_metrics:
+            set_obs(previous)
+    return result, registry.dump() if collect_metrics else [], records
 
 
-def _worker(args: tuple[Cell, bool]) -> tuple[Any, list]:
-    spec, collect_metrics = args
-    return _run_cell(spec, collect_metrics)
+def _worker(args: tuple[Cell, bool, bool]) -> tuple[Any, list, list]:
+    spec, collect_metrics, collect_runs = args
+    return _run_cell(spec, collect_metrics, collect_runs)
 
 
 def run_sweep(
@@ -112,6 +133,7 @@ def run_sweep(
     processes: int | None = None,
     collect_metrics: bool = False,
     merge_into=None,
+    collect_runs: bool | None = None,
 ) -> SweepResult:
     """Run every cell; fan out over processes when it pays.
 
@@ -129,23 +151,45 @@ def run_sweep(
     merge_into:
         A :class:`~repro.obs.metrics.MetricsRegistry` to fold every
         worker dump into.
+    collect_runs:
+        Capture each cell's ledger :class:`~repro.obs.ledger.RunRecord`
+        emissions and append them to the parent's active ledger.
+        ``None`` (default) auto-enables exactly when the parent has an
+        active ledger; ``False`` suppresses cell records entirely.
     """
+    from repro.obs.ledger import RunRecord, get_run_ledger
+
     cells = list(cells)
+    parent_ledger = get_run_ledger()
+    if collect_runs is None:
+        collect_runs = parent_ledger is not None
     if processes is None:
         processes = os.cpu_count() or 1
     n_workers = max(1, min(processes, len(cells)))
     if n_workers == 1 or len(cells) <= 1:
-        pairs = [_run_cell(c, collect_metrics) for c in cells]
+        triples = [_run_cell(c, collect_metrics, collect_runs)
+                   for c in cells]
         used = 1
     else:
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            pairs = list(pool.map(_worker,
-                                  [(c, collect_metrics) for c in cells]))
+            triples = list(pool.map(
+                _worker, [(c, collect_metrics, collect_runs) for c in cells]))
         used = n_workers
-    rows = [r for r, _ in pairs]
-    dumps = [d for _, d in pairs if d]
+    rows = [r for r, _, _ in triples]
+    dumps = [d for _, d, _ in triples if d]
     if merge_into is not None:
         for d in dumps:
             merge_into.merge_dump(d)
+    records = []
+    for _, _, cell_records in triples:
+        for rec_dict in cell_records:
+            record = RunRecord.from_dict(rec_dict)
+            if parent_ledger is not None:
+                # Worker-side ids restart per cell; let the parent ledger
+                # re-stamp so ids stay unique across the sweep.
+                record.run_id = ""
+                parent_ledger.append(record)
+            records.append(record)
     return SweepResult(rows=rows, tags=[c.tag for c in cells],
-                       metrics_dumps=dumps, processes=used)
+                       metrics_dumps=dumps, processes=used,
+                       run_records=records)

@@ -67,6 +67,12 @@ __all__ = [
     "chrome_trace_events", "to_chrome_trace", "write_chrome_trace",
     "iter_jsonl_lines", "write_jsonl", "render_metrics_table",
     "get_logger", "install", "TracerHandler", "bridge_to_tracer",
+    "RunRecord", "RunLedger", "LedgerError",
+    "get_run_ledger", "set_run_ledger", "configure_run_ledger",
+    "capture_runs", "record_experiment",
+    "Objective", "SloPolicy", "SloReport", "render_slo_table",
+    "RunDiff", "diff_runs", "render_diff_table",
+    "regression_gate", "render_gate_report",
 ]
 
 
@@ -124,3 +130,30 @@ def configure(*, trace: bool = True, metrics: bool = True, clock=None) -> Obs:
 def disable() -> Obs:
     """Restore the disabled default; returns the bundle that was active."""
     return set_obs(_DISABLED)
+
+
+# The flight-recorder layer reads get_obs() at call time, so these imports
+# live after the default-bundle machinery to keep the cycle one-way.
+from repro.obs.diff import (  # noqa: E402
+    RunDiff,
+    diff_runs,
+    regression_gate,
+    render_diff_table,
+    render_gate_report,
+)
+from repro.obs.ledger import (  # noqa: E402
+    LedgerError,
+    RunLedger,
+    RunRecord,
+    capture_runs,
+    configure_run_ledger,
+    get_run_ledger,
+    record_experiment,
+    set_run_ledger,
+)
+from repro.obs.slo import (  # noqa: E402
+    Objective,
+    SloPolicy,
+    SloReport,
+    render_slo_table,
+)

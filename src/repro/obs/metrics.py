@@ -297,9 +297,14 @@ class MetricsRegistry:
         return rows
 
     def merge_dump(self, rows: list) -> None:
-        """Fold a :meth:`dump` in (same semantics as :meth:`merge`)."""
+        """Fold a :meth:`dump` in (same semantics as :meth:`merge`).
+
+        Accepts rows that round-tripped through JSON (the run ledger's
+        encoding turns label tuples into lists), so label pairs are
+        re-normalised to hashable tuples here.
+        """
         for name, labels, kind, state in rows:
-            key = (name, tuple(labels))
+            key = (name, tuple((k, v) for k, v in labels))
             mine = self._series.get(key)
             if mine is None:
                 self._check(name, kind)

@@ -1,0 +1,270 @@
+"""SLO engine: declared objectives evaluated over ledger run records.
+
+An :class:`SloPolicy` names a set of :class:`Objective`\\ s — "miss rate
+≤ 10%", "mean cost ≤ $2", "p99 deadline margin ≥ 0", "events/s ≥ 50k" —
+and evaluates them over a sequence of :class:`~repro.obs.ledger.RunRecord`
+in simulated-time order.  Each objective aggregates a dotted field path
+across the records (``ratio`` objectives divide two summed fields, the
+way an error-budget SLI divides bad events by total events), compares
+against its threshold, and reports a **burn rate**: attained value over
+threshold for ceilings, threshold over attained for floors — burn > 1
+means the budget is being spent faster than allowed.
+
+Burn-rate alerting follows the two-window SRE convention scaled down to
+campaign length: the *overall* window is every record, the *recent*
+window the last quarter.  Recent burn ≥ 2 pages, overall burn > 1
+tickets.  Evaluation surfaces ``obs.slo.*`` counters on the active
+metrics registry and renders as an ASCII table matching the ``report``
+module's style.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.obs.ledger import RunRecord
+
+__all__ = [
+    "Objective", "ObjectiveResult", "SloAlert", "SloReport", "SloPolicy",
+    "SloError", "render_slo_table",
+]
+
+
+class SloError(ValueError):
+    """Bad objective declaration or unevaluable record set."""
+
+
+_OPS = ("<=", ">=")
+_AGGREGATES = ("mean", "sum", "max", "min", "p99", "ratio")
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One declared objective over a dotted record field.
+
+    ``metric`` is a dotted path into the record dict ("deadline.miss_rate",
+    "billing.cost_usd", "profile.events_per_s").  ``aggregate="ratio"``
+    ignores ``metric`` and instead divides ``sum(num)`` by ``sum(den)`` —
+    the exact form of a miss-rate SLI (missed bins over total bins).
+    """
+
+    name: str
+    metric: str
+    op: str                      # "<=" (ceiling) or ">=" (floor)
+    threshold: float
+    aggregate: str = "mean"
+    num: str | None = None       # ratio numerator path
+    den: str | None = None       # ratio denominator path
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise SloError(f"objective {self.name!r}: op must be one of {_OPS}")
+        if self.aggregate not in _AGGREGATES:
+            raise SloError(
+                f"objective {self.name!r}: unknown aggregate {self.aggregate!r}")
+        if self.aggregate == "ratio" and not (self.num and self.den):
+            raise SloError(
+                f"objective {self.name!r}: ratio needs num= and den= paths")
+
+    def describe(self) -> str:
+        """Compact ``aggregate(metric)`` / ``num / den`` description."""
+        if self.aggregate == "ratio":
+            return f"{self.num} / {self.den}"
+        return f"{self.aggregate}({self.metric})"
+
+    # -- evaluation over a window -----------------------------------------
+
+    def _values(self, records: Sequence[RunRecord], path: str) -> list[float]:
+        out = []
+        for rec in records:
+            v = rec.get(path)
+            if isinstance(v, (int, float)) and not isinstance(v, bool):
+                out.append(float(v))
+        return out
+
+    def value_over(self, records: Sequence[RunRecord]) -> float | None:
+        """The attained value over ``records`` (None if no data)."""
+        if self.aggregate == "ratio":
+            num = sum(self._values(records, self.num or ""))
+            den = sum(self._values(records, self.den or ""))
+            return num / den if den else None
+        values = self._values(records, self.metric)
+        if not values:
+            return None
+        if self.aggregate == "mean":
+            return sum(values) / len(values)
+        if self.aggregate == "sum":
+            return sum(values)
+        if self.aggregate == "max":
+            return max(values)
+        if self.aggregate == "min":
+            return min(values)
+        # p99 — nearest-rank on the sorted sample.
+        rank = max(0, math.ceil(0.99 * len(values)) - 1)
+        return sorted(values)[rank]
+
+    def burn_rate(self, value: float | None) -> float | None:
+        """Budget-spend speed: >1 means the objective is being violated."""
+        if value is None:
+            return None
+        if self.op == "<=":
+            if self.threshold == 0:
+                return math.inf if value > 0 else 0.0
+            return value / self.threshold
+        if value == 0:
+            return math.inf if self.threshold > 0 else 0.0
+        return self.threshold / value
+
+    def ok(self, value: float | None) -> bool:
+        """Whether ``value`` satisfies the objective (vacuous on no data)."""
+        if value is None:
+            return True          # no data is not a violation
+        return value <= self.threshold if self.op == "<=" else \
+            value >= self.threshold
+
+
+@dataclass
+class ObjectiveResult:
+    objective: Objective
+    value: float | None
+    ok: bool
+    burn: float | None           # overall burn rate
+    recent_burn: float | None    # burn over the last-quarter window
+    n_records: int
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping of this objective's evaluation."""
+        return {
+            "name": self.objective.name,
+            "metric": self.objective.describe(),
+            "op": self.objective.op,
+            "threshold": self.objective.threshold,
+            "value": self.value,
+            "ok": self.ok,
+            "burn": self.burn,
+            "recent_burn": self.recent_burn,
+            "n_records": self.n_records,
+        }
+
+
+@dataclass
+class SloAlert:
+    """Burn-rate alert: ``page`` for fast burn, ``ticket`` for slow burn."""
+
+    objective: str
+    severity: str                # "page" | "ticket"
+    burn: float
+    window: str                  # "recent" | "overall"
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping of this alert."""
+        return {"objective": self.objective, "severity": self.severity,
+                "burn": self.burn, "window": self.window}
+
+
+@dataclass
+class SloReport:
+    policy: str
+    results: list[ObjectiveResult] = field(default_factory=list)
+    alerts: list[SloAlert] = field(default_factory=list)
+    n_records: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping of the full report."""
+        return {
+            "policy": self.policy,
+            "ok": self.ok,
+            "n_records": self.n_records,
+            "objectives": [r.to_dict() for r in self.results],
+            "alerts": [a.to_dict() for a in self.alerts],
+        }
+
+
+class SloPolicy:
+    """A named set of objectives evaluated together over run records."""
+
+    def __init__(self, name: str, objectives: Iterable[Objective]) -> None:
+        self.name = name
+        self.objectives = tuple(objectives)
+        if not self.objectives:
+            raise SloError(f"policy {name!r} declares no objectives")
+
+    def evaluate(self, records: Sequence[RunRecord], *,
+                 obs: Any = None) -> SloReport:
+        """Evaluate every objective; emit ``obs.slo.*`` counters if enabled.
+
+        ``records`` should be in simulated-time (= append) order — the
+        recent-burn window is the trailing quarter of the sequence.
+        """
+        from repro.obs import get_obs
+
+        records = list(records)
+        recent = records[-max(1, len(records) // 4):] if records else []
+        report = SloReport(policy=self.name, n_records=len(records))
+        metrics = (obs or get_obs()).metrics
+        for objective in self.objectives:
+            value = objective.value_over(records)
+            recent_value = objective.value_over(recent)
+            burn = objective.burn_rate(value)
+            recent_burn = objective.burn_rate(recent_value)
+            ok = objective.ok(value)
+            report.results.append(ObjectiveResult(
+                objective=objective, value=value, ok=ok, burn=burn,
+                recent_burn=recent_burn, n_records=len(records)))
+            if recent_burn is not None and recent_burn >= 2.0:
+                report.alerts.append(SloAlert(
+                    objective.name, "page", recent_burn, "recent"))
+            elif burn is not None and burn > 1.0:
+                report.alerts.append(SloAlert(
+                    objective.name, "ticket", burn, "overall"))
+            if metrics.enabled:
+                metrics.counter("obs.slo.objectives_evaluated",
+                                policy=self.name).inc()
+                if not ok:
+                    metrics.counter("obs.slo.objectives_violated",
+                                    policy=self.name,
+                                    objective=objective.name).inc()
+        if metrics.enabled:
+            for alert in report.alerts:
+                metrics.counter("obs.slo.alerts", policy=self.name,
+                                severity=alert.severity).inc()
+        return report
+
+
+def _fmt(v: float | None) -> str:
+    if v is None:
+        return "-"
+    if v == math.inf:
+        return "inf"
+    return f"{v:.4g}"
+
+
+def render_slo_table(report: SloReport) -> str:
+    """ASCII SLO report in the ``report`` module's table style."""
+    head = f"== SLO: {report.policy} ({report.n_records} records) =="
+    rows = [("objective", "target", "value", "burn", "recent", "status")]
+    for res in report.results:
+        obj = res.objective
+        rows.append((
+            f"{obj.name} [{obj.describe()}]",
+            f"{obj.op} {obj.threshold:g}",
+            _fmt(res.value), _fmt(res.burn), _fmt(res.recent_burn),
+            "PASS" if res.ok else "FAIL",
+        ))
+    widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+    lines = [head]
+    for r in rows:
+        lines.append("   " + "  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    for alert in report.alerts:
+        lines.append(f"   ! {alert.severity.upper()}: {alert.objective} "
+                     f"burning at {alert.burn:.2f}x ({alert.window} window)")
+    n_ok = sum(1 for r in report.results if r.ok)
+    verdict = "PASS" if report.ok else "FAIL"
+    lines.append(f"   => {verdict} ({n_ok}/{len(report.results)} objectives)")
+    return "\n".join(lines)

@@ -32,6 +32,7 @@ regime where the paper's 100k-fleet questions live.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -42,6 +43,12 @@ from repro.cloud.instance import InstanceColumn
 from repro.cloud.service import ExecutionService, Workload
 from repro.cloud.types import SMALL, InstanceType
 from repro.core.planner import ProvisioningPlan
+from repro.obs.ledger import (
+    RunRecord,
+    encode_metrics_dump,
+    get_run_ledger,
+    span_rollup,
+)
 from repro.runner.core import FleetTimeline
 
 __all__ = ["ColumnarReport", "execute_plan_columnar", "execute_uniform_fleet"]
@@ -113,10 +120,13 @@ def _execute_column(
     deadline: float,
     service: ExecutionService | None,
     bill: bool,
+    label: str = "columnar",
 ) -> ColumnarReport:
     """Drive one column through its two engine events; return the report."""
     svc = service or ExecutionService(cloud)
     engine = cloud.engine
+    wall0 = time.perf_counter()
+    sim0, fired0 = engine.now, engine.events_fired
     report = ColumnarReport(
         column_id=column.column_id, deadline=deadline,
         work_start=column.barrier,
@@ -152,6 +162,43 @@ def _execute_column(
     engine.run(until=column.barrier)
     if report.ends.size:
         engine.run(until=float(report.ends.max()))
+    ledger = get_run_ledger()
+    if ledger is not None:
+        obs = cloud.obs
+        wall_s = time.perf_counter() - wall0
+        fired = engine.events_fired - fired0
+        n = report.n_instances
+        ledger.append(RunRecord(
+            kind="columnar",
+            label=label,
+            config={
+                "seed": getattr(cloud.rng, "seed", None),
+                "scheduler": engine.scheduler,
+                "instances": n,
+                "itype": column.itype.name,
+                "bill": bill,
+            },
+            metrics=(encode_metrics_dump(obs.metrics.dump())
+                     if obs.metrics.enabled else []),
+            spans=span_rollup(obs.tracer) if obs.tracer.enabled else {},
+            billing=cloud.ledger.summary(),
+            deadline={
+                "deadline_s": deadline,
+                "makespan_s": report.makespan,
+                "margin_s": deadline - report.makespan,
+                "missed": report.n_missed,
+                "bins": n,
+                "miss_rate": (report.n_missed / n) if n else 0.0,
+            },
+            profile={
+                "wall_s": wall_s,
+                "sim_start": sim0,
+                "sim_end": engine.now,
+                "sim_s": engine.now - sim0,
+                "events_fired": fired,
+                "events_per_s": fired / wall_s if wall_s > 0 else 0.0,
+            },
+        ))
     return report
 
 
@@ -178,7 +225,8 @@ def execute_plan_columnar(
                               durations=np.empty(0), ends=np.empty(0))
     column = cloud.launch_column(len(occupied), itype=itype)
     return _execute_column(cloud, workload, column, io_ref, cpu_ref,
-                           deadline=plan.deadline, service=service, bill=bill)
+                           deadline=plan.deadline, service=service, bill=bill,
+                           label="execute_plan_columnar")
 
 
 def execute_uniform_fleet(
@@ -209,4 +257,5 @@ def execute_uniform_fleet(
     cpu_ref = np.full(n_instances, b.cpu)
     column = cloud.launch_column(n_instances, itype=itype)
     return _execute_column(cloud, workload, column, io_ref, cpu_ref,
-                           deadline=deadline, service=service, bill=bill)
+                           deadline=deadline, service=service, bill=bill,
+                           label="execute_uniform_fleet")

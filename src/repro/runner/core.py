@@ -62,12 +62,19 @@ Span/metric taxonomy (one vocabulary for all runners, ``cat="runner"``):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Protocol
 
 from repro.cloud.cluster import Cloud
 from repro.cloud.service import ExecutionService, Workload
 from repro.core.planner import ProvisioningPlan
+from repro.obs.ledger import (
+    RunRecord,
+    encode_metrics_dump,
+    get_run_ledger,
+    span_rollup,
+)
 from repro.runner.execute import ExecutionReport, FailedBin, InstanceRun
 from repro.units import HOUR, billed_hours
 
@@ -1068,6 +1075,7 @@ class ExecutionCore:
         service: ExecutionService | None = None,
         strategy: str | None = None,
         bill: bool = True,
+        label: str | None = None,
     ) -> None:
         self.cloud = cloud
         self.workload = workload
@@ -1078,9 +1086,17 @@ class ExecutionCore:
         self.service = service
         self.strategy = strategy if strategy is not None else plan.strategy
         self.bill = bill
+        self.label = label if label is not None else "core"
 
     def run(self) -> CoreResult:
-        """Execute the plan under the policy triple; return everything."""
+        """Execute the plan under the policy triple; return everything.
+
+        When a run ledger is active (:func:`~repro.obs.ledger
+        .get_run_ledger`), the run also emits one :class:`RunRecord` with
+        the phase profile measured around the three stages below — this
+        single hook point is what gives all five entry points flight
+        recording.
+        """
         plan = self.plan
         ctx = CoreContext(
             cloud=self.cloud,
@@ -1101,15 +1117,80 @@ class ExecutionCore:
             for idx, _ in ctx.occupied
         }
 
+        engine = self.cloud.engine
+        fired0 = engine.events_fired
+        walls = [time.perf_counter()]
+        sims = [engine.now]
         self.acquisition.acquire_fleet(ctx)
         self.completion.after_acquisition(ctx)
+        walls.append(time.perf_counter())
+        sims.append(engine.now)
         start = self.acquisition.work_start_time(ctx)
         if start is not None:
             self.completion.run_to_start(ctx, start,
                                          lambda: self._process(ctx))
+        walls.append(time.perf_counter())
+        sims.append(engine.now)
         self.completion.finalize(ctx)
+        walls.append(time.perf_counter())
+        sims.append(engine.now)
+        ledger = get_run_ledger()
+        if ledger is not None:
+            self._emit_record(ledger, ctx, walls, sims,
+                              engine.events_fired - fired0)
         return CoreResult(report=ctx.report, timeline=ctx.timeline,
                           events=ctx.events)
+
+    def _emit_record(self, ledger, ctx: CoreContext, walls: list[float],
+                     sims: list[float], events_fired: int) -> None:
+        """Build this run's flight-recorder entry and append it."""
+        report, obs = ctx.report, ctx.obs
+        wall_s = walls[3] - walls[0]
+        n_bins = len(ctx.by_index)
+        phase_names = ("acquire", "execute", "finalize")
+        ledger.append(RunRecord(
+            kind="runner",
+            label=self.label,
+            config={
+                "strategy": self.strategy,
+                "seed": getattr(ctx.cloud.rng, "seed", None),
+                "scheduler": ctx.engine.scheduler,
+                "bins": n_bins,
+                "units": sum(len(u) for u in ctx.by_index.values()),
+                "bill": self.bill,
+                "policies": {
+                    "acquisition": type(self.acquisition).__name__,
+                    "progress": type(self.progress).__name__,
+                    "completion": type(self.completion).__name__,
+                },
+            },
+            metrics=(encode_metrics_dump(obs.metrics.dump())
+                     if obs.metrics.enabled else []),
+            spans=span_rollup(obs.tracer) if obs.tracer.enabled else {},
+            billing=ctx.cloud.ledger.summary(),
+            deadline={
+                "deadline_s": ctx.plan.deadline,
+                "makespan_s": report.makespan,
+                "margin_s": ctx.plan.deadline - report.makespan,
+                "missed": report.n_missed,
+                "failed": report.n_failed,
+                "bins": n_bins,
+                "miss_rate": (report.n_missed / n_bins) if n_bins else 0.0,
+            },
+            profile={
+                "wall_s": wall_s,
+                "sim_start": sims[0],
+                "sim_end": sims[3],
+                "sim_s": sims[3] - sims[0],
+                "events_fired": events_fired,
+                "events_per_s": events_fired / wall_s if wall_s > 0 else 0.0,
+                "phases": {
+                    name: {"wall_s": walls[i + 1] - walls[i],
+                           "sim_s": sims[i + 1] - sims[i]}
+                    for i, name in enumerate(phase_names)
+                },
+            },
+        ))
 
     # -- the one processing loop ------------------------------------------
 

@@ -128,6 +128,7 @@ def execute_with_monitoring(
         completion=MonitoredCompletion(lease_manager=lease_manager),
         service=service,
         strategy=f"{plan.strategy}+dynamic",
+        label="execute_with_monitoring",
     )
     result = core.run()
     return result.report, result.events

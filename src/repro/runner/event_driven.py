@@ -55,6 +55,7 @@ def execute_plan_event_driven(
         completion=EventCompletion(),
         service=service,
         bill=bill,
+        label="execute_plan_event_driven",
     )
     result = core.run()
     return result.report, result.timeline

@@ -169,5 +169,6 @@ def execute_plan(
         completion=StaticCompletion(measure_retrieval=measure_retrieval),
         service=service,
         bill=bill,
+        label="execute_plan",
     )
     return core.run().report

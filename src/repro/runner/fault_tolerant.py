@@ -111,6 +111,7 @@ def execute_fault_tolerant(
         completion=CrashCompletion(lease_manager=lease_manager),
         service=service,
         strategy=f"{plan.strategy}+fault-tolerant",
+        label="execute_fault_tolerant",
     )
     result = core.run()
     return result.report, result.events

@@ -61,5 +61,6 @@ def execute_on_fleet(
         completion=LeaseCompletion(leases),
         service=service,
         strategy=f"{plan.strategy}+fleet",
+        label="execute_on_fleet",
     )
     return core.run().report

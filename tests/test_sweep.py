@@ -138,3 +138,26 @@ class TestChaosSweepWiring:
         from repro.cli import cmd_sweep, main  # noqa: F401
 
         assert main(["sweep", "--seeds", "0"]) == 2  # validated, no run
+
+    def test_cli_sweep_metrics_out_writes_merged_dump(self, tmp_path):
+        import json
+
+        from repro.cli import main
+        from repro.obs.ledger import decode_metrics_dump
+
+        out = tmp_path / "metrics.json"
+        rc = main(["sweep", "--scenario", "slow-ebs", "--policy", "on",
+                   "--seeds", "1", "--processes", "1",
+                   "--metrics-out", str(out),
+                   "--runs-dir", str(tmp_path / "runs")])
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema_version"] == 1
+        rows = decode_metrics_dump(payload["metrics"])
+        names = {name for name, _, _, _ in rows}
+        assert any(name.startswith("cloud.") for name in names)
+        # The sweep ran un-ledgered cells through a private registry; the
+        # written dump is the parent's post-merge view.
+        reg = MetricsRegistry()
+        reg.merge_dump(rows)
+        assert reg.dump() == rows
