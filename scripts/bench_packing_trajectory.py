@@ -268,6 +268,66 @@ def collect_runner_core_stats() -> dict:
     }
 
 
+def collect_dag_stats() -> dict:
+    """DAG-scheduler facts for the entry: backend sweep + event throughput.
+
+    Two measurements.  First, the backend-comparison sweep
+    (S3/EBS/local x linear/fan-out x the default seeds, plus the serial
+    fan-out baseline): per-backend mean makespan/cost, the
+    serial-over-concurrent speedup, and the campaign SLO verdict — a
+    change that erodes stage-concurrency or mis-prices a backend moves
+    these next to the kernel medians.  Second, the scheduler's own event
+    throughput: one fan-out DAG run's flight-recorder profile
+    (events fired / wall seconds), best of ``BEST_OF`` like every other
+    capability metric, feeding the ``dag.events_per_s`` gate.
+    """
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.cloud import Cloud
+    from repro.corpus import html_18mil_like
+    from repro.dag import S3Backend, execute_dag, fanout_pipeline
+    from repro.experiments.exp_dag import (
+        DEADLINE,
+        DEFAULT_SEEDS,
+        SCALE,
+        dag_sweep,
+        evaluate_dag_slos,
+    )
+    from repro.obs.ledger import capture_runs, get_run_ledger
+
+    _, stats = dag_sweep()
+    slo = evaluate_dag_slos(stats)
+
+    record = None
+    for _ in range(BEST_OF):
+        cloud = Cloud(seed=2010)
+        cat = html_18mil_like(scale=SCALE, seed=2010)
+        ledger = get_run_ledger()
+        if ledger is not None:
+            execute_dag(cloud, fanout_pipeline(), cat, DEADLINE,
+                        backend=S3Backend(), label="bench.dag")
+            rec = ledger.records(kind="dag", label="bench.dag")[-1]
+        else:
+            with capture_runs() as mem:
+                execute_dag(cloud, fanout_pipeline(), cat, DEADLINE,
+                            backend=S3Backend(), label="bench.dag")
+            rec = mem.records()[-1]
+        if record is None or ((rec.get("profile.events_per_s") or 0.0)
+                              > (record.get("profile.events_per_s") or 0.0)):
+            record = rec
+    return {
+        "workload": "backend sweep (3 backends x 2 shapes x seeds "
+                    f"{list(DEFAULT_SEEDS)} + serial baseline); "
+                    "fan-out DAG on S3 for throughput",
+        "agg": stats["agg"],
+        "speedup": stats["speedup"],
+        "slo_ok": {b: r.ok for b, r in sorted(slo.items())},
+        "events_fired": record.get("profile.events_fired"),
+        "wall_seconds": round(record.get("profile.wall_s") or 0.0, 4),
+        "events_per_s": round(record.get("profile.events_per_s") or 0.0, 1),
+        "run_id": record.run_id,
+    }
+
+
 def collect_engine_stats() -> dict:
     """Simulation-core facts for the entry: raw event throughput and
     columnar fleet advance.
@@ -386,6 +446,7 @@ TRACKED_METRICS = {
     "runner_core.events_per_s": "higher",
     "engine.events_per_s": "higher",
     "engine.fleet_100k_wall_seconds": "lower",
+    "dag.events_per_s": "higher",
 }
 
 
@@ -443,6 +504,7 @@ def check(warn_only: bool) -> int:
             values = _tracked_values({
                 "runner_core": collect_runner_core_stats(),
                 "engine": collect_engine_stats(),
+                "dag": collect_dag_stats(),
             })
         finally:
             set_run_ledger(previous)
@@ -523,6 +585,7 @@ def main() -> None:
         "chaos": collect_chaos_stats(),
         "runner_core": collect_runner_core_stats(),
         "engine": collect_engine_stats(),
+        "dag": collect_dag_stats(),
         "calibration_ops_per_s": round(host_calibration(), 1),
     }
 

@@ -10,6 +10,8 @@ Usage::
                                                    # fault-injection sweep
     python -m repro.cli sweep --seeds 6 --processes 4
                                                    # same grid, all cores
+    python -m repro.cli dag --backend s3 ebs --slo
+                                                   # DAG backend comparison
     python -m repro.cli trace quickstart --out trace.json
                                                    # traced demo run
     python -m repro.cli runs list                  # the persistent run ledger
@@ -52,6 +54,7 @@ DEMOS: dict[str, str] = {
     "fleet_sharing": "fleet_sharing.py",
     "news_grep_campaign": "news_grep_campaign.py",
     "pos_deadline_scheduling": "pos_deadline_scheduling.py",
+    "dag_pipeline": "dag_pipeline.py",
 }
 
 
@@ -298,6 +301,53 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_dag(args: argparse.Namespace) -> int:
+    """``dag`` subcommand: backend-comparison sweep over workflow DAGs."""
+    from repro.experiments.exp_dag import (
+        DEFAULT_SEEDS,
+        dag_sweep,
+        evaluate_dag_slos,
+    )
+    from repro.obs.slo import render_slo_table
+
+    known_backends = ("local", "s3", "ebs")
+    known_shapes = ("linear", "fanout")
+    backends = tuple(args.backends) or known_backends
+    shapes = tuple(args.shapes) or known_shapes
+    unknown = [b for b in backends if b not in known_backends]
+    unknown += [s for s in shapes if s not in known_shapes]
+    if unknown:
+        _log.error("unknown backend/shape(s): %s; backends: %s, shapes: %s",
+                   ", ".join(unknown), ", ".join(known_backends),
+                   ", ".join(known_shapes))
+        return 2
+    if args.seeds < 1:
+        _log.error("--seeds must be at least 1")
+        return 2
+    seeds = tuple(DEFAULT_SEEDS[i % len(DEFAULT_SEEDS)]
+                  + 100 * (i // len(DEFAULT_SEEDS))
+                  for i in range(args.seeds))
+    fig, stats = dag_sweep(backends, shapes, seeds=seeds,
+                           processes=args.processes)
+    print(render_ascii(fig))
+    print()
+    for backend in backends:
+        cells = " ".join(
+            f"{shape}: {stats['agg'][backend][shape]['mean_makespan_s']:.0f}s "
+            f"(${stats['agg'][backend][shape]['mean_total_usd']:.3f})"
+            for shape in shapes)
+        extra = (f"  speedup x{stats['speedup'][backend]:.2f}"
+                 if backend in stats["speedup"] else "")
+        print(f"{backend:>6}  {cells}{extra}")
+    if args.slo:
+        print()
+        for backend, report in sorted(evaluate_dag_slos(stats).items()):
+            print(f"backend={backend}")
+            print(render_slo_table(report))
+            print()
+    return 0
+
+
 def _ledger_for(args: argparse.Namespace) -> RunLedger:
     return RunLedger(args.runs_dir)
 
@@ -351,23 +401,36 @@ def cmd_runs_diff(args: argparse.Namespace) -> int:
 
 
 def cmd_runs_slo(args: argparse.Namespace) -> int:
-    """``runs slo``: evaluate the chaos campaign SLOs over the ledger."""
-    from repro.experiments.exp_chaos import CHAOS_SLOS
+    """``runs slo``: evaluate campaign SLOs over recorded sweep cells.
+
+    ``--policy chaos`` (default) groups cells by resilience side and
+    holds them to the chaos SLOs; ``--policy dag`` groups by data-sharing
+    backend and holds them to the workflow deadline SLOs.
+    """
     from repro.obs.slo import render_slo_table
 
+    if args.policy == "dag":
+        from repro.experiments.exp_dag import DAG_SLOS as slos
+        group_key, group_name = "config.backend", "backend"
+    else:
+        from repro.experiments.exp_chaos import CHAOS_SLOS as slos
+        group_key, group_name = "config.policy", "policy"
+
     ledger = _ledger_for(args)
-    records = ledger.records(kind="sweep-cell", label=args.label or None)
+    records = [r for r in ledger.records(kind="sweep-cell",
+                                         label=args.label or None)
+               if r.get(group_key) is not None]
     if not records:
-        print(f"(no sweep-cell records under {ledger.root}; "
-              "run `repro chaos` or `repro sweep` first)")
+        print(f"(no matching sweep-cell records under {ledger.root}; "
+              "run `repro chaos`, `repro sweep` or `repro dag` first)")
         return 0
     sides: dict[str, list] = {}
     for r in records:
-        sides.setdefault(str(r.get("config.policy", "?")), []).append(r)
+        sides.setdefault(str(r.get(group_key)), []).append(r)
     failed = False
-    for policy in sorted(sides):
-        report = CHAOS_SLOS.evaluate(sides[policy])
-        print(f"policy={policy}")
+    for side in sorted(sides):
+        report = slos.evaluate(sides[side])
+        print(f"{group_name}={side}")
         print(render_slo_table(report))
         print()
         failed = failed or not report.ok
@@ -408,7 +471,8 @@ def main(argv: list[str] | None = None) -> int:
     install()
     parser = argparse.ArgumentParser(
         prog="repro", description="Regenerate the paper's figures and demos.")
-    sub = parser.add_subparsers(dest="command", required=True)
+    sub = parser.add_subparsers(dest="command", required=True,
+                                metavar="<command>")
 
     p_fig = sub.add_parser("figures", help="regenerate paper figures")
     p_fig.add_argument("--ids", nargs="*", default=[], metavar="ID",
@@ -465,6 +529,26 @@ def main(argv: list[str] | None = None) -> int:
                       help="write the merged sweep metrics dump as JSON")
     p_sw.set_defaults(fn=cmd_sweep)
 
+    p_dag = sub.add_parser(
+        "dag", help="sweep workflow DAGs over data-sharing backends")
+    p_dag.add_argument("--backend", dest="backends", nargs="*", default=[],
+                       metavar="NAME",
+                       help="backends to sweep: local, s3, ebs "
+                            "(default: all three)")
+    p_dag.add_argument("--shape", dest="shapes", nargs="*", default=[],
+                       metavar="SHAPE",
+                       help="DAG shapes to sweep: linear, fanout "
+                            "(default: both)")
+    p_dag.add_argument("--seeds", type=int, default=3, metavar="N",
+                       help="number of campaign seeds to aggregate "
+                            "(default: 3)")
+    p_dag.add_argument("--processes", type=int, default=1, metavar="P",
+                       help="worker processes for the sweep grid "
+                            "(default: 1 = inline)")
+    p_dag.add_argument("--slo", action="store_true",
+                       help="print the per-backend SLO tables")
+    p_dag.set_defaults(fn=cmd_dag)
+
     p_runs = sub.add_parser(
         "runs", help="query the persistent flight-recorder ledger")
     runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
@@ -472,7 +556,7 @@ def main(argv: list[str] | None = None) -> int:
     p_rl = runs_sub.add_parser("list", help="list recorded runs")
     p_rl.add_argument("--kind", default=None, metavar="KIND",
                       help="only records of this kind (runner, columnar, "
-                           "experiment, sweep-cell)")
+                           "dag, experiment, sweep-cell)")
     p_rl.add_argument("--label", default=None, metavar="LABEL",
                       help="only records with this label")
     p_rl.set_defaults(fn=cmd_runs_list)
@@ -503,6 +587,10 @@ def main(argv: list[str] | None = None) -> int:
         "slo", help="evaluate chaos SLOs over recorded sweep cells")
     p_rslo.add_argument("--label", default=None, metavar="LABEL",
                         help="only records with this label")
+    p_rslo.add_argument("--policy", choices=("chaos", "dag"),
+                        default="chaos",
+                        help="SLO policy to evaluate: chaos campaign "
+                             "(default) or dag workflow deadlines")
     p_rslo.add_argument("--strict", action="store_true",
                         help="exit 3 when any policy side violates an SLO")
     p_rslo.set_defaults(fn=cmd_runs_slo)
@@ -524,7 +612,7 @@ def main(argv: list[str] | None = None) -> int:
                       help="span category for --gantt (default: runner)")
     p_tr.set_defaults(fn=cmd_trace)
 
-    for p in (p_fig, p_ds, p_qs, p_fl, p_ch, p_sw, p_tr):
+    for p in (p_fig, p_ds, p_qs, p_fl, p_ch, p_sw, p_dag, p_tr):
         p.add_argument("--metrics", action="store_true",
                        help="print the metrics table after the run")
         p.add_argument("--runs-dir", default=".repro/runs", metavar="DIR",

@@ -137,6 +137,22 @@ class EbsVolume:
             f *= self.degradation()
         return f
 
+    def bulk_io_seconds(self, directory: str, size: int, rng: RngStream,
+                        *, throughput: float = 60_000_000.0,
+                        sigma: float = 0.08) -> float:
+        """Seconds to stream ``size`` bytes to or from ``directory``.
+
+        The inter-stage data-sharing surface: sustained sequential
+        throughput scaled by :meth:`access_factor` — so a badly-placed
+        directory slows a whole stage handoff by the same §5.1 factor a
+        probe read sees, and chaos degradation episodes stretch it
+        further — under one mild lognormal draw per batch.
+        """
+        if size < 0:
+            raise EbsError("negative transfer size")
+        base = (size / throughput) * self.access_factor(directory)
+        return base * rng.lognormal(0.0, sigma)
+
     @property
     def directories(self) -> tuple[str, ...]:
         return tuple(self._directories)

@@ -89,6 +89,29 @@ class S3Store:
             sigma += boost
         return base * rng.lognormal(0.0, sigma)
 
+    def bulk_transfer_time(self, size: int, n_objects: int,
+                           rng: RngStream) -> float:
+        """Seconds to move a batch of ``n_objects`` totalling ``size`` bytes.
+
+        The inter-stage data-sharing surface: one round-trip latency per
+        object plus one sustained-bandwidth term for the payload, under a
+        single lognormal draw — a deliberately coarse-grained cousin of
+        :meth:`transfer_time` that stays one RNG draw per batch however
+        many objects a stage hands over.  Degradation episodes stretch the
+        batch exactly as they stretch individual requests.
+        """
+        if size < 0:
+            raise S3Error("negative transfer size")
+        if n_objects < 0:
+            raise S3Error("negative object count")
+        base = n_objects * self.base_latency + size / self.bandwidth
+        sigma = self.latency_sigma
+        if self.degradation is not None:
+            factor, boost = self.degradation()
+            base *= factor
+            sigma += boost
+        return base * rng.lognormal(0.0, sigma)
+
     def retrieval_time(self, keys: list[str], rng: RngStream) -> float:
         """Total time to fetch many result objects sequentially.
 

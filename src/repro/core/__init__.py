@@ -39,6 +39,7 @@ from repro.core.workflow import (
     WorkflowError,
     WorkflowStage,
     assign_subdeadlines,
+    derived_catalogue,
     execute_workflow,
 )
 
@@ -52,6 +53,7 @@ __all__ = [
     "WorkflowError",
     "WorkflowStage",
     "assign_subdeadlines",
+    "derived_catalogue",
     "execute_workflow",
     "ResidualAnalysis",
     "adjustment_factor",

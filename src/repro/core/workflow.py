@@ -26,13 +26,13 @@ from repro.cloud.cluster import Cloud
 from repro.cloud.service import ExecutionService, Workload
 from repro.core.planner import StaticProvisioner
 from repro.perfmodel.regression import Predictor
-from repro.runner.execute import ExecutionReport, execute_plan
+from repro.runner.execute import ExecutionReport
 from repro.sim.random import stable_seed
 from repro.units import HOUR
 from repro.vfs.files import Catalogue, VirtualFile
 
 __all__ = ["WorkflowStage", "TextWorkflow", "WorkflowError",
-           "assign_subdeadlines", "execute_workflow"]
+           "assign_subdeadlines", "derived_catalogue", "execute_workflow"]
 
 
 class WorkflowError(ValueError):
@@ -174,13 +174,44 @@ def assign_subdeadlines(
     return {n: base[n] * HOUR for n in base}
 
 
-def _derived_catalogue(
+def derived_catalogue(
     source: Catalogue, stage: WorkflowStage, seed_tag: str
 ) -> Catalogue:
-    """The synthetic catalogue a stage's output forms for its dependents."""
+    """The synthetic catalogue a stage's output forms for its dependents.
+
+    Output bytes are apportioned so the catalogue's total is *exactly*
+    ``int(source.total_size * stage.output_ratio)`` — the same value
+    :meth:`TextWorkflow.stage_volumes` predicts for dependent stages.
+    Truncating per file instead (the old behaviour) leaked up to one byte
+    per file, so predicted and materialised volumes drifted apart on
+    catalogues with many small files and the drift compounded per stage.
+    Per-file shares use largest-remainder rounding: floor each share,
+    then hand the leftover bytes to the files with the largest fractional
+    parts (ties by catalogue order).
+    """
+    files_in = list(source)
+    target = int(source.total_size * stage.output_ratio)
+    shares = [f.size * stage.output_ratio for f in files_in]
+    sizes = [int(s) for s in shares]
+    rem = target - sum(sizes)
+    if rem and files_in:
+        n = len(files_in)
+        # Most-underfunded first for handing out bytes; walk the same
+        # ranking backwards to claw bytes back if float error overshot.
+        order = sorted(range(n), key=lambda i: sizes[i] - shares[i])
+        i = 0
+        while rem > 0:
+            sizes[order[i % n]] += 1
+            rem -= 1
+            i += 1
+        while rem < 0:
+            j = order[-1 - (i % n)]
+            if sizes[j] > 0:
+                sizes[j] -= 1
+                rem += 1
+            i += 1
     files = []
-    for f in source:
-        out_size = int(f.size * stage.output_ratio)
+    for f, out_size in zip(files_in, sizes):
         if out_size <= 0:
             continue
         stats = f.stats
@@ -197,6 +228,10 @@ def _derived_catalogue(
             content_seed=stable_seed(f.content_seed, seed_tag),
         ))
     return Catalogue(files, name=f"{source.name}->{stage.name}")
+
+
+#: Backwards-compatible alias (pre-DAG callers used the private name).
+_derived_catalogue = derived_catalogue
 
 
 @dataclass
@@ -253,6 +288,15 @@ def execute_workflow(
     :class:`StaticProvisioner`; intermediate catalogues are derived from
     the stage output ratios.
     """
+    # Imported here (as in runner.execute) to break the package cycle:
+    # runner.core pulls in core.planner, which initialises this module.
+    from repro.runner.core import (
+        ExecutionCore,
+        FleetLaunchAcquisition,
+        RunToCompletion,
+        StaticCompletion,
+    )
+
     svc = service or ExecutionService(cloud)
     subdeadlines = assign_subdeadlines(workflow, catalogue.total_size, deadline,
                                        hour_align=hour_align)
@@ -270,8 +314,15 @@ def execute_workflow(
         prov = StaticProvisioner(stage.predictor)
         plan = prov.plan(list(stage_input), subdeadlines[stage.name],
                          strategy=strategy)
-        report.stage_reports[stage.name] = execute_plan(
-            cloud, stage.workload, plan, service=svc)
-        produced[stage.name] = _derived_catalogue(stage_input, stage,
-                                                  seed_tag=stage.name)
+        core = ExecutionCore(
+            cloud, stage.workload, plan,
+            acquisition=FleetLaunchAcquisition(),
+            progress=RunToCompletion(),
+            completion=StaticCompletion(),
+            service=svc,
+            label=f"workflow.{stage.name}",
+        )
+        report.stage_reports[stage.name] = core.run().report
+        produced[stage.name] = derived_catalogue(stage_input, stage,
+                                                 seed_tag=stage.name)
     return report

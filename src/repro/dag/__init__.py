@@ -1,0 +1,41 @@
+"""Multi-stage workflow DAGs over the execution core (§7 future work).
+
+The paper's single-application plans become pipelines here: a
+:class:`~repro.dag.graph.WorkflowGraph` of typed stages chained by each
+application's output accounting, a :class:`~repro.dag.scheduler
+.DagScheduler` that runs every ready stage concurrently under per-stage
+:class:`~repro.runner.core.StagePolicy` triples, and pluggable
+:class:`~repro.dag.backends.DataBackend` implementations that price and
+time how intermediates move between stages (the Juve et al. S3 / EBS /
+local-disk comparison).
+"""
+
+from repro.dag.backends import (
+    DataBackend,
+    EbsBackend,
+    LocalDiskBackend,
+    S3Backend,
+    TransferRecord,
+)
+from repro.dag.graph import WorkflowGraph, fanout_pipeline, linear_pipeline
+from repro.dag.scheduler import (
+    DagReport,
+    DagScheduler,
+    StageResult,
+    execute_dag,
+)
+
+__all__ = [
+    "DagReport",
+    "DagScheduler",
+    "DataBackend",
+    "EbsBackend",
+    "LocalDiskBackend",
+    "S3Backend",
+    "StageResult",
+    "TransferRecord",
+    "WorkflowGraph",
+    "execute_dag",
+    "fanout_pipeline",
+    "linear_pipeline",
+]

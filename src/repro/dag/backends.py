@@ -1,0 +1,214 @@
+"""Pluggable inter-stage data-sharing backends (the Juve et al. axis).
+
+Juve et al. ("Data Sharing Options for Scientific Workflows on Amazon
+EC2", PAPERS.md) compare how a workflow's intermediate data moves between
+stages — through an object store, through attachable block volumes, or
+through instance-local disk — and find the choice moves both the bill and
+the makespan.  A :class:`DataBackend` is that choice made pluggable: the
+DAG scheduler calls :meth:`~DataBackend.put` once when a stage finishes
+producing and :meth:`~DataBackend.get` once per consuming edge, and the
+backend answers with a priced, timed :class:`TransferRecord`.
+
+Timing draws ride the cloud's deterministic streams under *named forks*
+(``dag.<backend>.put.<stage>`` / ``dag.<backend>.get.<producer>-><consumer>``),
+the PR 4 convention: installing or swapping a backend never shifts any
+other stream, so per-stage compute durations are bit-identical across
+backends and any makespan difference is attributable to the transfers
+alone.  Chaos injection arrives for free: S3 brownouts stretch
+:meth:`~repro.cloud.s3.S3Store.bulk_transfer_time` and degraded-EBS
+episodes stretch :meth:`~repro.cloud.ebs.EbsVolume.bulk_io_seconds`,
+exactly as they stretch any other I/O.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from repro.cloud.cluster import Cloud
+from repro.cloud.ebs import EbsVolume
+from repro.units import GB
+
+__all__ = [
+    "DataBackend",
+    "EbsBackend",
+    "LocalDiskBackend",
+    "S3Backend",
+    "TransferRecord",
+]
+
+#: Hours a GB-month is priced over (the AWS billing convention).
+_HOURS_PER_MONTH = 730.0
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One priced, timed inter-stage data movement."""
+
+    kind: str                 # "put" | "get"
+    producer: str             # stage that wrote the data
+    consumer: str | None      # stage that reads it (None for a put)
+    backend: str
+    volume: int               # bytes moved
+    n_objects: int            # files in the handoff
+    seconds: float
+    cost_usd: float
+
+
+@runtime_checkable
+class DataBackend(Protocol):
+    """How one stage's output reaches its consumers.
+
+    ``put`` is called once per producing stage (fan-out broadcasts the
+    same stored copy, so it is *not* charged per consumer); ``get`` is
+    called once per consuming edge.  Both must draw any randomness from
+    a fresh named fork of ``cloud.rng`` so backends stay stream-isolated.
+    """
+
+    name: str
+
+    def put(self, cloud: Cloud, producer: str, volume: int,
+            n_objects: int) -> TransferRecord:
+        """Persist a stage's output; returns the timed/priced record."""
+        ...
+
+    def get(self, cloud: Cloud, producer: str, consumer: str, volume: int,
+            n_objects: int) -> TransferRecord:
+        """Fetch a producer's output for one consumer."""
+        ...
+
+
+@dataclass
+class S3Backend:
+    """Stage outputs round-trip through the region's object store.
+
+    No attach step and unlimited parallel readers, but every object pays
+    the store's per-request latency and the payload its (noisy, possibly
+    browned-out) bandwidth — the Juve et al. S3 profile.  Pricing is
+    per-request plus GB-month storage prorated to ``hold_hours`` (the
+    intermediate lives only until the workflow drains it).
+    """
+
+    name: str = "s3"
+    storage_gb_month: float = 0.15
+    put_per_1000: float = 0.01
+    get_per_10000: float = 0.01
+    hold_hours: float = 1.0
+
+    def put(self, cloud: Cloud, producer: str, volume: int,
+            n_objects: int) -> TransferRecord:
+        """Upload the stage output as one object batch."""
+        rng = cloud.rng.fork(f"dag.{self.name}.put.{producer}")
+        seconds = cloud.s3.bulk_transfer_time(volume, n_objects, rng)
+        cost = (n_objects / 1000.0 * self.put_per_1000
+                + (volume / GB) * self.storage_gb_month
+                * self.hold_hours / _HOURS_PER_MONTH)
+        return TransferRecord(kind="put", producer=producer, consumer=None,
+                              backend=self.name, volume=volume,
+                              n_objects=n_objects, seconds=seconds,
+                              cost_usd=cost)
+
+    def get(self, cloud: Cloud, producer: str, consumer: str, volume: int,
+            n_objects: int) -> TransferRecord:
+        """Download the producer's objects for one consuming edge."""
+        rng = cloud.rng.fork(f"dag.{self.name}.get.{producer}->{consumer}")
+        seconds = cloud.s3.bulk_transfer_time(volume, n_objects, rng)
+        cost = n_objects / 10000.0 * self.get_per_10000
+        return TransferRecord(kind="get", producer=producer,
+                              consumer=consumer, backend=self.name,
+                              volume=volume, n_objects=n_objects,
+                              seconds=seconds, cost_usd=cost)
+
+
+@dataclass
+class EbsBackend:
+    """Stage outputs live on per-producer EBS volumes.
+
+    Sequential streaming beats S3's per-object latency for large
+    handoffs, but each consumer pays an attach penalty (a volume attaches
+    to one instance at a time, so a fan-out consumer re-attaches) and the
+    directory's §5.1 placement luck scales the whole handoff.  Volumes
+    are provisioned lazily per producer through ``cloud.create_volume``,
+    which wires chaos degradation when a fault injector is installed.
+
+    One backend instance is one workflow run's volume namespace — build a
+    fresh backend per run (sweep cells already do).
+    """
+
+    name: str = "ebs"
+    storage_gb_month: float = 0.10
+    io_per_million: float = 0.10
+    io_request_bytes: int = 131072
+    attach_seconds: float = 30.0
+    hold_hours: float = 1.0
+    _volumes: dict[str, EbsVolume] = field(default_factory=dict)
+
+    def _volume_for(self, cloud: Cloud, producer: str,
+                    volume: int) -> EbsVolume:
+        vol = self._volumes.get(producer)
+        if vol is None:
+            vol = cloud.create_volume(max(1, math.ceil(volume / GB)))
+            vol.store(f"dag/{producer}")
+            self._volumes[producer] = vol
+        return vol
+
+    def _io_cost(self, volume: int) -> float:
+        requests = math.ceil(volume / self.io_request_bytes)
+        return requests / 1e6 * self.io_per_million
+
+    def put(self, cloud: Cloud, producer: str, volume: int,
+            n_objects: int) -> TransferRecord:
+        """Stream the stage output onto the producer's volume."""
+        vol = self._volume_for(cloud, producer, volume)
+        rng = cloud.rng.fork(f"dag.{self.name}.put.{producer}")
+        seconds = vol.bulk_io_seconds(f"dag/{producer}", volume, rng)
+        cost = (self._io_cost(volume)
+                + vol.size_gb * self.storage_gb_month
+                * self.hold_hours / _HOURS_PER_MONTH)
+        return TransferRecord(kind="put", producer=producer, consumer=None,
+                              backend=self.name, volume=volume,
+                              n_objects=n_objects, seconds=seconds,
+                              cost_usd=cost)
+
+    def get(self, cloud: Cloud, producer: str, consumer: str, volume: int,
+            n_objects: int) -> TransferRecord:
+        """Attach the producer's volume and stream the handoff off it."""
+        vol = self._volume_for(cloud, producer, volume)
+        rng = cloud.rng.fork(f"dag.{self.name}.get.{producer}->{consumer}")
+        seconds = (self.attach_seconds
+                   + vol.bulk_io_seconds(f"dag/{producer}", volume, rng))
+        return TransferRecord(kind="get", producer=producer,
+                              consumer=consumer, backend=self.name,
+                              volume=volume, n_objects=n_objects,
+                              seconds=seconds, cost_usd=self._io_cost(volume))
+
+
+@dataclass
+class LocalDiskBackend:
+    """Intermediates stay on instance-local disk: free and instant.
+
+    The degenerate baseline: zero seconds and zero dollars on both
+    sides, so a DAG run over this backend must reproduce the pure
+    compute/billing behaviour of the single-stage runners exactly (the
+    differential test pins this).  It models co-scheduling consumer on
+    producer's instances — valid only while the working set fits, which
+    is precisely the Juve et al. caveat the comparison exists to show.
+    """
+
+    name: str = "local"
+
+    def put(self, cloud: Cloud, producer: str, volume: int,
+            n_objects: int) -> TransferRecord:
+        """Leave the output where it was written: free, instant."""
+        return TransferRecord(kind="put", producer=producer, consumer=None,
+                              backend=self.name, volume=volume,
+                              n_objects=n_objects, seconds=0.0, cost_usd=0.0)
+
+    def get(self, cloud: Cloud, producer: str, consumer: str, volume: int,
+            n_objects: int) -> TransferRecord:
+        """Read the output in place: free, instant."""
+        return TransferRecord(kind="get", producer=producer,
+                              consumer=consumer, backend=self.name,
+                              volume=volume, n_objects=n_objects,
+                              seconds=0.0, cost_usd=0.0)

@@ -209,6 +209,11 @@ class LeaseManager:
         self.reaped = 0
         self.pool_evicted = 0      # pooled instances lost (dead zone/crash)
         self.launch_faults = 0     # cold boots the cloud refused (chaos)
+        # Warm takes whose previous lease belonged to a different campaign
+        # (e.g. a DAG stage inheriting paid hours an earlier stage
+        # released) — the cross-stage handoff a shared fleet exists for.
+        self.cross_campaign_hits = 0
+        self._last_campaign: dict[str, str | None] = {}
 
     # -- capacity ----------------------------------------------------------
 
@@ -291,6 +296,12 @@ class LeaseManager:
         )
         if fault is not None:
             lease.outcome = "launch-fault-absorbed"
+        if warm and instance.instance_id in self._last_campaign \
+                and self._last_campaign[instance.instance_id] != campaign:
+            self.cross_campaign_hits += 1
+            if self.obs.enabled:
+                self.obs.metrics.counter("fleet.lease.cross_campaign_hits",
+                                         source=lease.source).inc()
         self._leases[lease.lease_id] = lease
         self._active.add(instance.instance_id)
         self._known.add(instance.instance_id)
@@ -376,6 +387,7 @@ class LeaseManager:
         lease.released_at = at
         inst = lease.instance
         self._active.discard(inst.instance_id)
+        self._last_campaign[inst.instance_id] = lease.campaign
         self.slices.append(UsageSlice(
             instance_id=inst.instance_id, lease_id=lease.lease_id,
             tenant=lease.tenant, campaign=lease.campaign,
@@ -477,4 +489,5 @@ class LeaseManager:
             "leases": len(self._leases),
             "pool_evicted": self.pool_evicted,
             "launch_faults": self.launch_faults,
+            "cross_campaign_hits": self.cross_campaign_hits,
         }

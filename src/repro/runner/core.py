@@ -102,6 +102,7 @@ __all__ = [
     "ProgressPolicy",
     "ReplacementEvent",
     "RunToCompletion",
+    "StagePolicy",
     "StaticCompletion",
     "StragglerProgress",
 ]
@@ -1050,6 +1051,65 @@ class LeaseCompletion(CompletionPolicy):
 
 
 # --------------------------------------------------------------------------
+# stage policies (multi-stage / DAG execution)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class StagePolicy:
+    """One DAG stage's policy triple over the execution core.
+
+    A multi-stage scheduler (:mod:`repro.dag`) runs every ready stage
+    through the same three protocols a single-plan run uses; a
+    ``StagePolicy`` names the triple one stage executes under, plus how
+    its capacity winds down.  With ``terminate_at_stage_end`` the
+    scheduler terminates the stage's private instances when the stage
+    completes (the :class:`StaticCompletion` fleet shape); leased stages
+    leave wind-down to their shared
+    :class:`~repro.fleet.lease.LeaseManager`, which is what lets a later
+    stage warm-hit the paid hours an earlier stage released.
+    """
+
+    acquisition: AcquisitionPolicy
+    progress: ProgressPolicy
+    completion: CompletionPolicy
+    terminate_at_stage_end: bool = False
+
+    @classmethod
+    def leased(cls, manager: "LeaseManager", *, tenant: str = "stage",
+               campaign: str | None = None,
+               progress: ProgressPolicy | None = None) -> "StagePolicy":
+        """Shared-fleet stage: per-bin leases, manager-owned billing.
+
+        Stages sharing one ``manager`` hand paid hours across stage
+        boundaries — a bin released by stage *n* is a warm hit for stage
+        *n+1* (or for a sibling running concurrently).
+        """
+        return cls(
+            acquisition=LeaseAcquisition(manager, tenant=tenant,
+                                         campaign=campaign),
+            progress=progress if progress is not None else RunToCompletion(),
+            completion=LeaseCompletion(manager),
+            terminate_at_stage_end=False,
+        )
+
+    @classmethod
+    def fleet(cls, *, launcher: "ResilientLauncher | None" = None,
+              lease_manager: "LeaseManager | None" = None,
+              on_fault: str = "fail-bin",
+              progress: ProgressPolicy | None = None) -> "StagePolicy":
+        """Private-fleet stage: ``execute_plan`` semantics per stage."""
+        return cls(
+            acquisition=FleetLaunchAcquisition(launcher=launcher,
+                                               lease_manager=lease_manager,
+                                               on_fault=on_fault),
+            progress=progress if progress is not None else RunToCompletion(),
+            completion=StaticCompletion(),
+            terminate_at_stage_end=True,
+        )
+
+
+# --------------------------------------------------------------------------
 # the core
 # --------------------------------------------------------------------------
 
@@ -1097,26 +1157,7 @@ class ExecutionCore:
         single hook point is what gives all five entry points flight
         recording.
         """
-        plan = self.plan
-        ctx = CoreContext(
-            cloud=self.cloud,
-            svc=self.service or ExecutionService(self.cloud),
-            plan=plan,
-            workload=self.workload,
-            acquisition=self.acquisition,
-            report=ExecutionReport(deadline=plan.deadline,
-                                   strategy=self.strategy),
-            bill=self.bill,
-        )
-        ctx.occupied = [(i, list(units))
-                        for i, units in enumerate(plan.assignments) if units]
-        ctx.by_index = dict(ctx.occupied)
-        ctx.predicted = {
-            idx: (plan.predicted_times[idx] if idx < len(plan.predicted_times)
-                  else 0.0)
-            for idx, _ in ctx.occupied
-        }
-
+        ctx = self.build_context()
         engine = self.cloud.engine
         fired0 = engine.events_fired
         walls = [time.perf_counter()]
@@ -1140,6 +1181,44 @@ class ExecutionCore:
                               engine.events_fired - fired0)
         return CoreResult(report=ctx.report, timeline=ctx.timeline,
                           events=ctx.events)
+
+    def build_context(self) -> CoreContext:
+        """The mutable per-run state, occupied bins resolved from the plan.
+
+        :meth:`run` builds one implicitly; a multi-stage scheduler
+        (:mod:`repro.dag`) builds one per stage and drives
+        :meth:`process` from its own engine events instead of calling
+        :meth:`run`, so several stages can be in flight on one engine.
+        """
+        plan = self.plan
+        ctx = CoreContext(
+            cloud=self.cloud,
+            svc=self.service or ExecutionService(self.cloud),
+            plan=plan,
+            workload=self.workload,
+            acquisition=self.acquisition,
+            report=ExecutionReport(deadline=plan.deadline,
+                                   strategy=self.strategy),
+            bill=self.bill,
+        )
+        ctx.occupied = [(i, list(units))
+                        for i, units in enumerate(plan.assignments) if units]
+        ctx.by_index = dict(ctx.occupied)
+        ctx.predicted = {
+            idx: (plan.predicted_times[idx] if idx < len(plan.predicted_times)
+                  else 0.0)
+            for idx, _ in ctx.occupied
+        }
+        return ctx
+
+    def process(self, ctx: CoreContext) -> None:
+        """Public alias for the fleet-ready processing loop.
+
+        Call at the stage's work-start time (the engine clock must sit at
+        the barrier) after ``acquisition.acquire_fleet`` and
+        ``completion.after_acquisition`` have run on ``ctx``.
+        """
+        self._process(ctx)
 
     def _emit_record(self, ledger, ctx: CoreContext, walls: list[float],
                      sims: list[float], events_fired: int) -> None:

@@ -1,0 +1,141 @@
+"""Tests for the pluggable data-sharing backends (S3 / EBS / local)."""
+
+import pytest
+
+from repro.chaos import Degradation, FaultInjector, FaultScenario
+from repro.cloud import Cloud
+from repro.dag import (
+    DataBackend,
+    EbsBackend,
+    LocalDiskBackend,
+    S3Backend,
+    TransferRecord,
+)
+from repro.units import HOUR, MB
+
+
+def _all_backends():
+    return [S3Backend(), EbsBackend(), LocalDiskBackend()]
+
+
+class TestProtocol:
+    def test_all_backends_satisfy_the_protocol(self):
+        for b in _all_backends():
+            assert isinstance(b, DataBackend)
+
+    def test_put_and_get_record_shapes(self):
+        cloud = Cloud(seed=3)
+        for b in _all_backends():
+            put = b.put(cloud, "extract", 10 * MB, 120)
+            get = b.get(cloud, "extract", "tag", 10 * MB, 120)
+            for rec in (put, get):
+                assert isinstance(rec, TransferRecord)
+                assert rec.backend == b.name
+                assert rec.volume == 10 * MB and rec.n_objects == 120
+                assert rec.seconds >= 0.0 and rec.cost_usd >= 0.0
+            assert put.kind == "put" and put.consumer is None
+            assert get.kind == "get" and get.consumer == "tag"
+
+    def test_local_disk_is_free_and_instant(self):
+        cloud = Cloud(seed=3)
+        b = LocalDiskBackend()
+        assert b.put(cloud, "a", 10 * MB, 5).seconds == 0.0
+        assert b.get(cloud, "a", "b", 10 * MB, 5).cost_usd == 0.0
+
+
+class TestPricing:
+    def test_s3_charges_requests_and_prorated_storage(self):
+        cloud = Cloud(seed=1)
+        b = S3Backend()
+        put = b.put(cloud, "x", 0, 1000)
+        assert put.cost_usd == pytest.approx(b.put_per_1000)
+        get = b.get(cloud, "x", "y", 0, 10000)
+        assert get.cost_usd == pytest.approx(b.get_per_10000)
+
+    def test_ebs_reuses_one_volume_per_producer(self):
+        cloud = Cloud(seed=1)
+        b = EbsBackend()
+        b.put(cloud, "x", 10 * MB, 5)
+        before = len(b._volumes)
+        b.get(cloud, "x", "y", 10 * MB, 5)
+        b.get(cloud, "x", "z", 10 * MB, 5)
+        assert len(b._volumes) == before == 1
+
+    def test_ebs_get_pays_the_attach_penalty(self):
+        cloud = Cloud(seed=1)
+        b = EbsBackend()
+        get = b.get(cloud, "x", "y", 1 * MB, 1)
+        assert get.seconds >= b.attach_seconds
+
+
+class TestDeterminism:
+    def test_same_seed_same_records(self):
+        def records(seed):
+            cloud = Cloud(seed=seed)
+            out = []
+            for b in (S3Backend(), EbsBackend()):
+                out.append(b.put(cloud, "extract", 10 * MB, 64))
+                out.append(b.get(cloud, "extract", "tag", 10 * MB, 64))
+            return out
+
+        assert records(7) == records(7)
+        assert records(7) != records(8)
+
+    def test_named_forks_do_not_shift_existing_streams(self):
+        """Installing/running a backend never perturbs other draws — the
+        PR 4 convention that keeps compute identical across backends."""
+        def probe(with_backend):
+            cloud = Cloud(seed=5)
+            if with_backend:
+                b = S3Backend()
+                b.put(cloud, "extract", 10 * MB, 64)
+                b.get(cloud, "extract", "tag", 10 * MB, 64)
+            return cloud.rng.fork("some.other.stream").uniform(0, 1)
+
+        assert probe(False) == probe(True)
+
+    def test_repeated_put_draws_from_the_same_fork(self):
+        # A backend's draws are a pure function of (cloud seed, stream
+        # name), not of call history: replaying a put gives the same time.
+        cloud = Cloud(seed=5)
+        b = S3Backend()
+        first = b.put(cloud, "extract", 10 * MB, 64)
+        again = b.put(cloud, "extract", 10 * MB, 64)
+        assert first.seconds == again.seconds
+
+
+class TestChaos:
+    def _s3_brownout(self, seed):
+        scenario = FaultScenario(
+            name="brownout",
+            s3_degradations=(Degradation(0.0, 4 * HOUR, factor=3.0,
+                                         sigma_boost=0.5),))
+        return FaultInjector([scenario], seed=seed)
+
+    def test_s3_brownout_stretches_s3_transfers(self):
+        calm = Cloud(seed=9)
+        stormy = Cloud(seed=9, chaos=self._s3_brownout(9))
+        b = S3Backend()
+        t_calm = b.put(calm, "extract", 100 * MB, 500).seconds
+        t_storm = b.put(stormy, "extract", 100 * MB, 500).seconds
+        assert t_storm > t_calm
+
+    def test_ebs_degradation_stretches_ebs_io(self):
+        scenario = FaultScenario(
+            name="slow-ebs",
+            ebs_degradations=(Degradation(0.0, 4 * HOUR, factor=3.0,
+                                          zone="*"),))
+        calm = Cloud(seed=9)
+        stormy = Cloud(seed=9, chaos=FaultInjector([scenario], seed=9))
+        t_calm = EbsBackend().put(calm, "extract", 100 * MB, 500).seconds
+        t_storm = EbsBackend().put(stormy, "extract", 100 * MB, 500).seconds
+        assert t_storm > t_calm
+
+    def test_deterministic_under_chaos(self):
+        def run(seed):
+            cloud = Cloud(seed=seed, chaos=self._s3_brownout(seed))
+            b = S3Backend()
+            return (b.put(cloud, "extract", 50 * MB, 100),
+                    b.get(cloud, "extract", "tag", 50 * MB, 100))
+
+        assert run(4) == run(4)
