@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Spot provisioning under an eviction storm — the fallback ladder at work.
+
+The paper runs every campaign on on-demand instances because its users
+have deadlines (§1.1).  This demo provisions the same deadline-driven
+grep campaign on *spot* capacity during the nastiest shipped interruption
+regime and compares three users:
+
+* a naive spot user — no checkpoints, no fallback: every interruption
+  restarts the bin from scratch in the same zone;
+* the fallback ladder — checkpoint into the two-minute warning, re-bid
+  in another zone, re-type, queue, and escalate to on-demand when the
+  deadline is at risk;
+* the paper's pure on-demand baseline.
+
+Run:  python examples/spot_fallback.py
+"""
+
+from repro.experiments.exp_spot import run_cell
+
+REGIME = "eviction-storm"
+SEED = 23
+
+
+def main() -> None:
+    on = run_cell(REGIME, resilience=True, seed=SEED)
+    off = run_cell(REGIME, resilience=False, seed=SEED)
+
+    print(f"regime {REGIME!r}, seed {SEED}: {on['bins']} bins, "
+          f"{on['interruptions']} interruptions replayed\n")
+    print(f"{'policy':>16} {'missed':>7} {'cost':>8} {'vs on-demand':>13} "
+          f"{'rebids':>7} {'escalations':>12}")
+    for label, cell in (("naive spot", off), ("fallback ladder", on)):
+        print(f"{label:>16} {cell['missed']:>4}/{cell['bins']:<2} "
+              f"${cell['cost_usd']:>6.3f} {cell['cost_ratio']:>12.2f}x "
+              f"{cell['rebids']:>7} {cell['escalations']:>12}")
+    print(f"{'pure on-demand':>16} {'':>7} "
+          f"${on['on_demand_baseline_usd']:>6.3f} {1.0:>12.2f}x")
+
+    saved = 1.0 - on["cost_ratio"]
+    print(f"\nthe ladder absorbs the storm at {saved:.0%} below the "
+          "on-demand bill; the naive user pays almost as much and still "
+          "blows the deadline on restarted bins")
+
+
+if __name__ == "__main__":
+    main()

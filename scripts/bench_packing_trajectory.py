@@ -164,6 +164,52 @@ def collect_chaos_stats() -> dict:
     }
 
 
+def collect_spot_stats() -> dict:
+    """Spot-provisioning facts for the entry: cost ratio and miss rates.
+
+    Runs the spot sweep (every interruption regime x fallback ladder
+    on/off at the operating point, plus the bid x slack sensitivity
+    grid) and records per-regime miss rates, the cost of the spot-mixed
+    fleet against the pure on-demand baseline, and the two acceptance
+    verdicts the ladder is held to: at most a 10 % miss rate under
+    every regime, and a mean bill below pure on-demand.  The headline
+    ``cost_ratio_vs_on_demand`` (mean over regimes, ladder on) feeds
+    the ``--check`` gate: a change that erodes the spot saving — a
+    ladder rung regressing to on-demand too eagerly, billing drift —
+    moves it like a kernel-median regression.
+    """
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.experiments.exp_spot import evaluate_spot_slos, spot_sweep
+
+    _, stats = spot_sweep()
+    slo = evaluate_spot_slos(stats)
+    regimes = {
+        name: {
+            "on_miss_rate": cell["on"]["miss_rate"],
+            "off_miss_rate": cell["off"]["miss_rate"],
+            "on_mean_cost_usd": cell["on"]["mean_cost_usd"],
+            "on_mean_cost_ratio": cell["on"]["mean_cost_ratio"],
+            "off_mean_cost_ratio": cell["off"]["mean_cost_ratio"],
+        }
+        for name, cell in sorted(stats["regimes"].items())
+    }
+    ratios = [r["on_mean_cost_ratio"] for r in regimes.values()]
+    return {
+        "workload": f"{len(regimes)} interruption regimes x (ladder "
+                    "on/off) + bid x slack sensitivity grid",
+        "regimes": regimes,
+        "cost_ratio_vs_on_demand": round(sum(ratios) / len(ratios), 4),
+        "on_worst_miss_rate": max(r["on_miss_rate"] for r in regimes.values()),
+        "off_worst_miss_rate": max(
+            r["off_miss_rate"] for r in regimes.values()),
+        "slo_ok": {policy: rep.ok for policy, rep in sorted(slo.items())},
+        "acceptance_on_le_10pct_everywhere": all(
+            r["on_miss_rate"] <= 0.10 for r in regimes.values()),
+        "acceptance_cheaper_than_on_demand_everywhere": all(
+            r["on_mean_cost_ratio"] < 1.0 for r in regimes.values()),
+    }
+
+
 #: Capability metrics are min-of-N: host interference is one-sided.
 BEST_OF = 3
 
@@ -447,7 +493,12 @@ TRACKED_METRICS = {
     "engine.events_per_s": "higher",
     "engine.fleet_100k_wall_seconds": "lower",
     "dag.events_per_s": "higher",
+    "spot.cost_ratio_vs_on_demand": "lower",
 }
+
+#: Simulated-economics metrics are seed-deterministic: host speed cannot
+#: move them, so the calibration ratio must not be applied.
+CALIBRATION_EXEMPT = {"spot.cost_ratio_vs_on_demand"}
 
 
 def _tracked_values(entry: dict) -> dict[str, float]:
@@ -505,6 +556,7 @@ def check(warn_only: bool) -> int:
                 "runner_core": collect_runner_core_stats(),
                 "engine": collect_engine_stats(),
                 "dag": collect_dag_stats(),
+                "spot": collect_spot_stats(),
             })
         finally:
             set_run_ledger(previous)
@@ -515,7 +567,7 @@ def check(warn_only: bool) -> int:
             print(f"host calibration x{ratio:.2f} vs baseline entry "
                   f"({cal_base:,.0f} ops/s)")
             for path, direction in TRACKED_METRICS.items():
-                if path in values:
+                if path in values and path not in CALIBRATION_EXEMPT:
                     values[path] = (values[path] / ratio
                                     if direction == "higher"
                                     else values[path] * ratio)
@@ -583,6 +635,7 @@ def main() -> None:
         "obs": collect_obs_stats(),
         "fleet": collect_fleet_stats(),
         "chaos": collect_chaos_stats(),
+        "spot": collect_spot_stats(),
         "runner_core": collect_runner_core_stats(),
         "engine": collect_engine_stats(),
         "dag": collect_dag_stats(),

@@ -28,10 +28,14 @@ The policy layer that *absorbs* these faults lives in
 from repro.chaos.injector import ChaosError, FaultInjector, InjectedFault, LaunchRejected
 from repro.chaos.scenario import (
     SCENARIOS,
+    SPOT_REGIMES,
     AzOutage,
     Degradation,
     FaultScenario,
+    SpotInterruptionTrace,
+    SpotRegime,
     get_scenario,
+    get_spot_regime,
 )
 
 __all__ = [
@@ -43,5 +47,9 @@ __all__ = [
     "InjectedFault",
     "LaunchRejected",
     "SCENARIOS",
+    "SPOT_REGIMES",
+    "SpotInterruptionTrace",
+    "SpotRegime",
     "get_scenario",
+    "get_spot_regime",
 ]

@@ -87,6 +87,8 @@ class FaultInjector:
         self._outages = tuple(o for s in self.scenarios for o in s.az_outages)
         self._ebs = tuple(d for s in self.scenarios for d in s.ebs_degradations)
         self._s3 = tuple(d for s in self.scenarios for d in s.s3_degradations)
+        self._spot = tuple(t for s in self.scenarios
+                           for t in s.spot_interruptions)
         # Hang probability composes like rejection: independent events.
         p_ok = 1.0
         hang_seconds = 0.0
@@ -156,6 +158,29 @@ class FaultInjector:
                            instance_id: str) -> None:
         """Log one running instance killed by a zone outage."""
         self._record("az-outage-kill", at, zone_name, instance_id)
+
+    # -- spot reclaims -----------------------------------------------------
+
+    @property
+    def has_spot_interruptions(self) -> bool:
+        """Any replayable spot-reclaim trace installed."""
+        return bool(self._spot)
+
+    def next_spot_interruption(self, zone_name: str, t: float) -> float | None:
+        """Earliest recorded spot reclaim in ``zone_name`` strictly after ``t``.
+
+        Pure trace lookup — nothing is drawn, so querying is idempotent
+        and composes with the market's own price-crossing interruptions
+        (the caller takes whichever comes first).
+        """
+        hits = [at for trace in self._spot
+                for at in (trace.next_after(zone_name, t),) if at is not None]
+        return min(hits) if hits else None
+
+    def record_spot_interruption(self, at: float, zone_name: str,
+                                 detail: str = "") -> None:
+        """Log one spot instance reclaimed (trace or market crossing)."""
+        self._record("spot-interruption", at, zone_name, detail)
 
     # -- degraded storage paths -------------------------------------------
 

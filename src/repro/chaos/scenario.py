@@ -16,10 +16,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.sim.random import RngStream
 from repro.units import HOUR
 
 __all__ = ["AzOutage", "Degradation", "FaultScenario", "SCENARIOS",
-           "get_scenario"]
+           "SPOT_REGIMES", "SpotInterruptionTrace", "SpotRegime",
+           "get_scenario", "get_spot_regime"]
 
 #: Wildcard zone selector: the rate/episode applies to every zone.
 ANY_ZONE = "*"
@@ -78,6 +80,129 @@ class Degradation:
 
 
 @dataclass(frozen=True)
+class SpotInterruptionTrace:
+    """A recorded spot-interruption timeline, replayable by name.
+
+    ``events`` holds ``(at_seconds, zone)`` reclamation instants in time
+    order — the market takes the instance back at ``at`` regardless of
+    price (capacity reclaims, not price crossings), after the standard
+    two-minute warning.  A trace is frozen data: replaying it under the
+    same cloud seed reproduces the run bit-for-bit, and stacking it onto
+    a :class:`FaultScenario` composes with every other fault class.
+
+    Traces are *generated* (not hand-written) via :meth:`generate`, which
+    draws per-zone exponential gaps from named :class:`RngStream` forks
+    (``spot.trace.{name}.{zone}``) — pure derivations off the seed, so
+    installing a trace never shifts draws any existing consumer observes.
+    """
+
+    name: str
+    events: tuple[tuple[float, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("trace needs a name")
+        for at, zone in self.events:
+            if at < 0:
+                raise ValueError("interruption times must be non-negative")
+            if not zone:
+                raise ValueError("interruption needs a zone")
+        if list(self.events) != sorted(self.events):
+            raise ValueError("trace events must be in time order")
+
+    @classmethod
+    def generate(cls, name: str, *, seed: int, zones: tuple[str, ...],
+                 mean_gap_hours: float,
+                 horizon_hours: float = 24.0) -> "SpotInterruptionTrace":
+        """Draw one trace: per-zone Poisson reclaims at the given rate.
+
+        Each zone's gaps come from its own named fork of the canonical
+        ``(seed, "cloud")`` stream, so the trace is a pure function of
+        ``(name, seed, zones, rate, horizon)`` and is independent of
+        query order or any other consumer of the seed.
+        """
+        if mean_gap_hours <= 0:
+            raise ValueError("mean gap must be positive")
+        root = RngStream(seed, name="cloud").fork(f"spot.trace.{name}")
+        events: list[tuple[float, str]] = []
+        for zone in zones:
+            rng = root.fork(zone)
+            t = rng.exponential(mean_gap_hours * HOUR)
+            while t < horizon_hours * HOUR:
+                events.append((t, zone))
+                t += rng.exponential(mean_gap_hours * HOUR)
+        return cls(name=name, events=tuple(sorted(events)))
+
+    def next_after(self, zone: str, t: float) -> float | None:
+        """The first recorded reclamation in ``zone`` strictly after ``t``."""
+        for at, z in self.events:
+            if z == zone and at > t:
+                return at
+        return None
+
+    def events_for(self, zone: str) -> tuple[float, ...]:
+        """All reclamation instants recorded for one zone, in order."""
+        return tuple(at for at, z in self.events if z == zone)
+
+
+@dataclass(frozen=True)
+class SpotRegime:
+    """A generative family of interruption traces at one market mood.
+
+    The regime is the *family* (how hostile the market is); a concrete
+    :class:`SpotInterruptionTrace` is one member, fully determined by the
+    seed — ``regime.trace(seed)`` is what experiments install, and two
+    calls with the same seed return identical traces.
+    """
+
+    name: str
+    mean_gap_hours: float
+    horizon_hours: float = 24.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("regime needs a name")
+        if self.mean_gap_hours <= 0 or self.horizon_hours <= 0:
+            raise ValueError("regime rates must be positive")
+
+    def trace(self, seed: int, *,
+              zones: tuple[str, ...] = ("us-east-1a", "us-east-1b",
+                                        "us-east-1c", "us-east-1d"),
+              ) -> SpotInterruptionTrace:
+        """The regime's concrete trace for one campaign seed."""
+        return SpotInterruptionTrace.generate(
+            self.name, seed=seed, zones=zones,
+            mean_gap_hours=self.mean_gap_hours,
+            horizon_hours=self.horizon_hours)
+
+    def scenario(self, seed: int, **kwargs) -> "FaultScenario":
+        """A single-trace :class:`FaultScenario` ready to install."""
+        return FaultScenario(name=f"spot-{self.name}",
+                             spot_interruptions=(self.trace(seed, **kwargs),))
+
+
+#: The shipped interruption regimes ``experiments/exp_spot.py`` sweeps:
+#: from a market that reclaims a zone's capacity twice a day to one that
+#: churns every zone a few times per hour.
+SPOT_REGIMES: dict[str, SpotRegime] = {
+    "calm": SpotRegime("calm", mean_gap_hours=12.0),
+    "choppy": SpotRegime("choppy", mean_gap_hours=1.5),
+    "eviction-storm": SpotRegime("eviction-storm", mean_gap_hours=0.25,
+                                 horizon_hours=12.0),
+}
+
+
+def get_spot_regime(name: str) -> SpotRegime:
+    """Look up a shipped spot regime (raises ``KeyError`` with the menu)."""
+    try:
+        return SPOT_REGIMES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown spot regime {name!r}; shipped: "
+            f"{', '.join(sorted(SPOT_REGIMES))}") from None
+
+
+@dataclass(frozen=True)
 class FaultScenario:
     """One declarative bundle of fault processes.
 
@@ -94,6 +219,9 @@ class FaultScenario:
     az_outages: tuple[AzOutage, ...] = ()
     ebs_degradations: tuple[Degradation, ...] = ()
     s3_degradations: tuple[Degradation, ...] = ()
+    #: Replayable spot-reclaim timelines (union across stacked scenarios);
+    #: only spot-acquired capacity feels them — on-demand runs are immune.
+    spot_interruptions: tuple[SpotInterruptionTrace, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:

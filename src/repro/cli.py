@@ -8,6 +8,8 @@ Usage::
     python -m repro.cli quickstart                 # the end-to-end demo
     python -m repro.cli chaos --scenario az-blackout --policy both
                                                    # fault-injection sweep
+    python -m repro.cli spot --regime eviction-storm --policy both
+                                                   # spot-market sweep
     python -m repro.cli sweep --seeds 6 --processes 4
                                                    # same grid, all cores
     python -m repro.cli dag --backend s3 ebs --slo
@@ -47,6 +49,7 @@ _log = get_logger("cli")
 DEMOS: dict[str, str] = {
     "quickstart": "quickstart.py",
     "spot_market": "spot_market.py",
+    "spot_fallback": "spot_fallback.py",
     "fault_tolerance": "fault_tolerance.py",
     "text_workflow": "text_workflow.py",
     "dynamic_rescheduling": "dynamic_rescheduling.py",
@@ -244,6 +247,60 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_spot(args: argparse.Namespace) -> int:
+    """``spot`` subcommand: spot-provisioning sweep, fallback ladder on/off."""
+    from repro.chaos import SPOT_REGIMES
+    from repro.experiments.exp_spot import (
+        BIDS,
+        DEFAULT_SEEDS,
+        SLACKS,
+        evaluate_spot_slos,
+        spot_sweep,
+    )
+    from repro.obs.slo import render_slo_table
+
+    names = (list(SPOT_REGIMES) if (args.all or not args.regimes)
+             else args.regimes)
+    bids = tuple(args.bids) if args.bids else BIDS
+    slacks = tuple(args.slacks) if args.slacks else SLACKS
+    unknown = [n for n in names if n not in SPOT_REGIMES]
+    if unknown:
+        _log.error("unknown regime(s): %s; shipped: %s",
+                   ", ".join(unknown), ", ".join(sorted(SPOT_REGIMES)))
+        return 2
+    if args.seeds < 1:
+        _log.error("--seeds must be at least 1")
+        return 2
+    if any(b <= 0 for b in bids) or any(s <= 0 for s in slacks):
+        _log.error("--bids and --slacks must be positive")
+        return 2
+    policies = {"on": (True,), "off": (False,),
+                "both": (True, False)}[args.policy]
+    seeds = tuple(DEFAULT_SEEDS[i % len(DEFAULT_SEEDS)]
+                  + 100 * (i // len(DEFAULT_SEEDS))
+                  for i in range(args.seeds))
+    fig, stats = spot_sweep(names, seeds=seeds, policies=policies,
+                            bids=bids, slacks=slacks,
+                            processes=args.processes)
+    print(render_ascii(fig))
+    print()
+    for name in names:
+        row = stats["regimes"][name]
+        cells = " ".join(
+            f"{p}: miss {row[p]['miss_rate']:.3f} "
+            f"(${row[p]['mean_cost_usd']:.3f}, "
+            f"{row[p]['mean_cost_ratio']:.2f}x od)"
+            for p in ("on", "off") if p in row)
+        print(f"{name:>16}  {cells}")
+    if args.slo:
+        print()
+        for policy, report in sorted(evaluate_spot_slos(stats).items()):
+            print(f"policy={policy}")
+            print(render_slo_table(report))
+            print()
+    return 0
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     """``sweep`` subcommand: fan an experiment grid over worker processes."""
     from repro.chaos import SCENARIOS
@@ -405,21 +462,29 @@ def cmd_runs_slo(args: argparse.Namespace) -> int:
 
     ``--policy chaos`` (default) groups cells by resilience side and
     holds them to the chaos SLOs; ``--policy dag`` groups by data-sharing
-    backend and holds them to the workflow deadline SLOs.
+    backend and holds them to the workflow deadline SLOs; ``--policy
+    spot`` groups spot-provisioning cells by ladder side and holds them
+    to the spot campaign SLOs.
     """
     from repro.obs.slo import render_slo_table
 
     if args.policy == "dag":
         from repro.experiments.exp_dag import DAG_SLOS as slos
         group_key, group_name = "config.backend", "backend"
+    elif args.policy == "spot":
+        from repro.experiments.exp_spot import SPOT_SLOS as slos
+        group_key, group_name = "config.policy", "policy"
     else:
         from repro.experiments.exp_chaos import CHAOS_SLOS as slos
         group_key, group_name = "config.policy", "policy"
 
     ledger = _ledger_for(args)
+    label_prefix = {"spot": "exp_spot.", "chaos": "exp_chaos."}.get(args.policy)
     records = [r for r in ledger.records(kind="sweep-cell",
                                          label=args.label or None)
-               if r.get(group_key) is not None]
+               if r.get(group_key) is not None
+               and (label_prefix is None or args.label
+                    or r.label.startswith(label_prefix))]
     if not records:
         print(f"(no matching sweep-cell records under {ledger.root}; "
               "run `repro chaos`, `repro sweep` or `repro dag` first)")
@@ -511,6 +576,34 @@ def main(argv: list[str] | None = None) -> int:
                       help="number of campaign seeds to aggregate (default: 3)")
     p_ch.set_defaults(fn=cmd_chaos)
 
+    p_sp = sub.add_parser(
+        "spot", help="sweep spot interruption regimes with the fallback "
+                     "ladder on/off")
+    p_sp.add_argument("--regime", dest="regimes", nargs="*", default=[],
+                      metavar="NAME",
+                      help="regime names (default: all shipped regimes)")
+    p_sp.add_argument("--all", action="store_true",
+                      help="sweep every shipped regime")
+    p_sp.add_argument("--policy", choices=("on", "off", "both"),
+                      default="both",
+                      help="fallback-ladder side(s) to run (default: both)")
+    p_sp.add_argument("--seeds", type=int, default=3, metavar="N",
+                      help="number of campaign seeds to aggregate (default: 3)")
+    p_sp.add_argument("--bids", type=float, nargs="*", metavar="B",
+                      default=None,
+                      help="reference-terms bid levels to sweep "
+                           "(default: 0.02 0.06 0.085)")
+    p_sp.add_argument("--slacks", type=float, nargs="*", metavar="S",
+                      default=None,
+                      help="deadline-slack multipliers to sweep "
+                           "(default: 0.85 1.0 1.25)")
+    p_sp.add_argument("--processes", type=int, default=1, metavar="P",
+                      help="worker processes for the sweep grid "
+                           "(default: 1 = inline)")
+    p_sp.add_argument("--slo", action="store_true",
+                      help="print the per-policy SLO tables")
+    p_sp.set_defaults(fn=cmd_spot)
+
     p_sw = sub.add_parser(
         "sweep", help="fan the chaos grid over worker processes")
     p_sw.add_argument("--scenario", dest="scenarios", nargs="*", default=[],
@@ -587,10 +680,11 @@ def main(argv: list[str] | None = None) -> int:
         "slo", help="evaluate chaos SLOs over recorded sweep cells")
     p_rslo.add_argument("--label", default=None, metavar="LABEL",
                         help="only records with this label")
-    p_rslo.add_argument("--policy", choices=("chaos", "dag"),
+    p_rslo.add_argument("--policy", choices=("chaos", "dag", "spot"),
                         default="chaos",
                         help="SLO policy to evaluate: chaos campaign "
-                             "(default) or dag workflow deadlines")
+                             "(default), dag workflow deadlines, or the "
+                             "spot provisioning campaign")
     p_rslo.add_argument("--strict", action="store_true",
                         help="exit 3 when any policy side violates an SLO")
     p_rslo.set_defaults(fn=cmd_runs_slo)
@@ -612,7 +706,7 @@ def main(argv: list[str] | None = None) -> int:
                       help="span category for --gantt (default: runner)")
     p_tr.set_defaults(fn=cmd_trace)
 
-    for p in (p_fig, p_ds, p_qs, p_fl, p_ch, p_sw, p_dag, p_tr):
+    for p in (p_fig, p_ds, p_qs, p_fl, p_ch, p_sp, p_sw, p_dag, p_tr):
         p.add_argument("--metrics", action="store_true",
                        help="print the metrics table after the run")
         p.add_argument("--runs-dir", default=".repro/runs", metavar="DIR",

@@ -34,7 +34,13 @@ from repro.cloud.failures import FailureModel
 from repro.cloud.instance import Instance, InstanceState
 from repro.cloud.s3 import S3Store
 from repro.cloud.service import ExecutionService, Workload
-from repro.cloud.spot import SpotMarket, SpotRequest
+from repro.cloud.spot import (
+    TWO_MINUTE_WARNING,
+    SpotInterruption,
+    SpotMarket,
+    SpotMarketBoard,
+    SpotRequest,
+)
 from repro.cloud.staging import StagePlan, UploadSite
 from repro.cloud.types import (
     AvailabilityZone,
@@ -59,8 +65,11 @@ __all__ = [
     "S3Store",
     "ExecutionService",
     "Workload",
+    "SpotInterruption",
     "SpotMarket",
+    "SpotMarketBoard",
     "SpotRequest",
+    "TWO_MINUTE_WARNING",
     "StagePlan",
     "UploadSite",
     "AvailabilityZone",

@@ -20,7 +20,10 @@ probe) — never the injector's ground truth:
   re-packs the orphaned work onto the surviving instances and recomputes
   the residual-based adjusted deadline instead of silently missing;
 * :func:`hedged_retrieval` — tail-tolerant S3 fetches (best of two
-  request draws per object).
+  request draws per object);
+* :class:`SpotLadder` / :class:`SpotFallbackPolicy` — the spot-market
+  fallback ladder (re-bid AZ → re-type → queue → on-demand) with
+  deadline-aware preemptive escalation (:func:`buffer_seconds`).
 
 ``experiments/exp_chaos.py`` sweeps scenarios × policies and shows the
 paper's ≤10 % miss bound holding under faults only when this layer is on.
@@ -36,6 +39,13 @@ from repro.resilience.launch import (
     launch_fleet,
 )
 from repro.resilience.retry import RetryPolicy, hedged_retrieval, hedged_transfer_time
+from repro.resilience.spot import (
+    RUNGS,
+    FallbackDecision,
+    SpotFallbackPolicy,
+    SpotLadder,
+    buffer_seconds,
+)
 
 __all__ = [
     "Acquisition",
@@ -44,10 +54,15 @@ __all__ = [
     "CapacityError",
     "CircuitBreaker",
     "DegradationPlanner",
+    "FallbackDecision",
     "ReplanResult",
     "ResilientLauncher",
     "RetryPolicy",
+    "RUNGS",
+    "SpotFallbackPolicy",
+    "SpotLadder",
     "acquire_replacement",
+    "buffer_seconds",
     "hedged_retrieval",
     "hedged_transfer_time",
     "launch_fleet",

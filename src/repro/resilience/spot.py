@@ -1,0 +1,219 @@
+"""The spot fallback ladder and deadline-aware on-demand escalation.
+
+An interruption (the market reclaimed a spot instance) is answered by
+walking a ladder, cheapest rung first:
+
+1. **rebid-az** — re-bid the same instance type in a *different* zone
+   whose current price the bid covers (zone markets are independent, so a
+   local price spike rarely hits all four);
+2. **retype** — fall back to a different instance type whose (rate-scaled)
+   market the bid still covers; its price *and* its performance scale with
+   the type's compute ratio, so the cost/deadline arithmetic stays honest;
+3. **queue** — no market is affordable right now: queue the orphaned work
+   and wait for the earliest ``(zone, hour)`` the bid covers again
+   (work that cannot even be *queued* safely falls through to rung 4);
+4. **on-demand** — escalate to a full-rate instance that the market can
+   never take back.
+
+Escalation is also *preemptive*: whenever the perfmodel's predicted
+remaining work plus a restart-overhead-aware safety buffer
+(:func:`buffer_seconds`, the sky_spot "can't be late" rule) exceeds the
+time to deadline, the ladder short-circuits straight to on-demand —
+waiting for a cheaper rung would already risk the deadline.
+
+The ladder only *decides*; acquiring, billing and progress accounting
+live in :class:`repro.runner.spot.SpotAcquisition`.  Work that cannot be
+placed at acquisition time at all is queued for the
+:class:`~repro.resilience.degrade.DegradationPlanner` exactly like any
+other failed launch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.cloud.spot import TWO_MINUTE_WARNING, SpotMarketBoard
+from repro.cloud.types import LARGE, SMALL, InstanceType
+from repro.units import HOUR
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.chaos import FaultInjector
+
+__all__ = ["FallbackDecision", "SpotFallbackPolicy", "SpotLadder",
+           "buffer_seconds", "RUNGS"]
+
+#: Ladder rungs in preference order (Snippet-2 vocabulary).
+RUNGS = ("rebid-az", "retype", "queue", "on-demand")
+
+
+def buffer_seconds(restart_overhead: float, *, safety_factor: float = 1.25,
+                   warning: float = TWO_MINUTE_WARNING) -> float:
+    """The "can't be late" safety buffer before the deadline.
+
+    A spot plan must keep enough slack to absorb one more interruption:
+    the restart overhead (boot + checkpoint restore), inflated by a
+    safety factor for prediction error, plus the warning window whose
+    work an interruption throws away.  When remaining work plus this
+    buffer no longer fits before the deadline, the only safe rung is
+    on-demand.
+    """
+    if restart_overhead < 0 or safety_factor < 1.0 or warning < 0:
+        raise ValueError("buffer inputs must be non-negative (factor >= 1)")
+    return safety_factor * restart_overhead + warning
+
+
+@dataclass(frozen=True)
+class SpotFallbackPolicy:
+    """Frozen knobs for one campaign's spot survival strategy.
+
+    ``bid`` is in reference (small-instance) terms — the board scales it
+    per type.  ``ladder=False`` is the §1.1 strawman the paper rejects: a
+    naive persistent request that waits for its own zone to come back and
+    restarts from scratch (no checkpoint), which is exactly the baseline
+    the experiments show missing deadlines.  ``escalate=False`` disables
+    the on-demand rung (rung 4 then reports give-up).
+    """
+
+    bid: float = 0.06
+    itype: InstanceType = SMALL
+    fallback_itype: InstanceType = LARGE
+    checkpoint: bool = True
+    restart_overhead: float = 180.0
+    escalate: bool = True
+    ladder: bool = True
+    safety_factor: float = 1.25
+    max_interruptions: int = 16
+    horizon_hours: int = 48
+
+    def __post_init__(self) -> None:
+        if self.bid <= 0:
+            raise ValueError("bid must be positive")
+        if self.restart_overhead < 0:
+            raise ValueError("restart overhead must be non-negative")
+        if self.max_interruptions < 1:
+            raise ValueError("max_interruptions must be at least 1")
+
+    def buffer_seconds(self) -> float:
+        """This policy's escalation buffer (see :func:`buffer_seconds`)."""
+        return buffer_seconds(self.restart_overhead,
+                              safety_factor=self.safety_factor)
+
+    def at_risk(self, remaining_predicted: float,
+                deadline_remaining: float) -> bool:
+        """Would anything but on-demand now endanger the deadline?"""
+        return remaining_predicted + self.buffer_seconds() > deadline_remaining
+
+
+@dataclass(frozen=True)
+class FallbackDecision:
+    """Where one interrupted (or not-yet-started) bin's work goes next.
+
+    ``rung`` is one of :data:`RUNGS` plus the two terminal outcomes
+    ``"wait-same-zone"`` (the ladder-off baseline) and ``"give-up"``
+    (nothing affordable and escalation disabled).  ``resume_at`` is the
+    absolute second capacity is usable again (before the restart
+    overhead); ``queued_seconds`` is the market wait absorbed by the
+    queue rung.
+    """
+
+    rung: str
+    zone: str | None = None
+    itype: InstanceType | None = None
+    resume_at: float = 0.0
+    queued_seconds: float = 0.0
+
+
+class SpotLadder:
+    """Decide, never acquire: the fallback ladder over one market board.
+
+    Deterministic and draw-free — every answer is a pure function of the
+    board's (cached) prices, the installed chaos state and the decision
+    inputs, so replaying a run re-makes identical decisions.
+    """
+
+    def __init__(self, board: SpotMarketBoard, *,
+                 policy: SpotFallbackPolicy | None = None,
+                 chaos: "FaultInjector | None" = None) -> None:
+        self.board = board
+        self.policy = policy or SpotFallbackPolicy()
+        self.chaos = chaos
+
+    # -- zone health -------------------------------------------------------
+
+    def _usable(self, zone: str, t: float) -> bool:
+        """Is ``zone`` accepting capacity at ``t`` (no AZ outage)?"""
+        return self.chaos is None or not self.chaos.zone_down(zone, t)
+
+    # -- entry points ------------------------------------------------------
+
+    def initial_zone(self, t: float) -> str | None:
+        """Cheapest zone the bid covers at ``t`` for the primary type."""
+        p = self.policy
+        dead = {z for z in self.board.zones if not self._usable(z, t)}
+        return self.board.cheapest_zone(int(t // HOUR), p.bid,
+                                        itype=p.itype, exclude=dead)
+
+    def should_escalate(self, remaining_predicted: float,
+                        deadline_remaining: float) -> bool:
+        """The preemptive check run at every segment start."""
+        return self.policy.escalate and self.policy.at_risk(
+            remaining_predicted, deadline_remaining)
+
+    def decide(self, *, now: float, zone: str, remaining_predicted: float,
+               deadline_remaining: float) -> FallbackDecision:
+        """Walk the ladder for work interrupted at ``now`` in ``zone``.
+
+        The reclaimed zone holds no spot capacity for this workload until
+        the next market hour, so rung 1 looks elsewhere; rung 3's wait is
+        itself checked against the deadline buffer before being offered.
+        """
+        p = self.policy
+        if p.escalate and p.at_risk(remaining_predicted, deadline_remaining):
+            return FallbackDecision("on-demand", itype=p.itype, resume_at=now)
+        hour_now = int(now // HOUR)
+        if not p.ladder:
+            # Naive persistent request: same zone, next hour it is both
+            # repopulated (post-reclaim hold) and affordable.
+            hour = self.board.next_affordable_hour(
+                zone, from_hour=hour_now + 1, bid=p.bid, itype=p.itype,
+                horizon_hours=p.horizon_hours)
+            if hour is None:
+                return FallbackDecision("give-up", zone=zone)
+            return FallbackDecision("wait-same-zone", zone=zone,
+                                    itype=p.itype, resume_at=hour * HOUR,
+                                    queued_seconds=hour * HOUR - now)
+        dead = {z for z in self.board.zones if not self._usable(z, now)}
+        # Rung 1: a different AZ, right now.
+        z = self.board.cheapest_zone(hour_now, p.bid, itype=p.itype,
+                                     exclude=dead | {zone})
+        if z is not None:
+            return FallbackDecision("rebid-az", zone=z, itype=p.itype,
+                                    resume_at=now)
+        # Rung 2: a different instance type (rate-scaled market), any zone.
+        z = self.board.cheapest_zone(hour_now, p.bid, itype=p.fallback_itype,
+                                     exclude=dead)
+        if z is not None:
+            return FallbackDecision("retype", zone=z, itype=p.fallback_itype,
+                                    resume_at=now)
+        # Rung 3: queue for the earliest (zone, hour) the bid covers again.
+        best: tuple[int, str] | None = None
+        for cand in self.board.zones:
+            if cand in dead:
+                continue
+            hour = self.board.next_affordable_hour(
+                cand, from_hour=hour_now + 1, bid=p.bid, itype=p.itype,
+                horizon_hours=p.horizon_hours)
+            if hour is not None and (best is None or hour < best[0]):
+                best = (hour, cand)
+        if best is not None:
+            resume = best[0] * HOUR
+            wait = resume - now
+            if not (p.escalate and p.at_risk(remaining_predicted,
+                                             deadline_remaining - wait)):
+                return FallbackDecision("queue", zone=best[1], itype=p.itype,
+                                        resume_at=resume, queued_seconds=wait)
+        # Rung 4: nothing affordable in time.
+        if p.escalate:
+            return FallbackDecision("on-demand", itype=p.itype, resume_at=now)
+        return FallbackDecision("give-up", zone=zone)

@@ -15,7 +15,10 @@ public entry points are thin configurations of it:
 * :func:`~repro.runner.fault_tolerant.execute_fault_tolerant` — §7 crash
   recovery in unit batches;
 * :func:`~repro.runner.fleet.execute_on_fleet` — warm leases from a
-  shared fleet instead of private boots.
+  shared fleet instead of private boots;
+* :func:`~repro.runner.spot.execute_plan_spot` — spot-market capacity
+  with interruption absorption, the fallback ladder, and deadline-aware
+  on-demand escalation.
 """
 
 from repro.runner.core import (
@@ -49,6 +52,14 @@ from repro.runner.execute import ExecutionReport, FailedBin, InstanceRun, execut
 from repro.runner.fault_tolerant import CrashEvent, FaultPolicy, execute_fault_tolerant
 from repro.runner.fleet import execute_on_fleet
 from repro.runner.quality import execute_quality_aware
+from repro.runner.spot import (
+    SpotAcquisition,
+    SpotCompletion,
+    SpotProgress,
+    SpotRunResult,
+    SpotRunStats,
+    execute_plan_spot,
+)
 
 __all__ = [
     "ExecutionReport",
@@ -70,6 +81,12 @@ __all__ = [
     "execute_uniform_fleet",
     "DeviceAssignment",
     "execute_ebs_plan",
+    "SpotAcquisition",
+    "SpotCompletion",
+    "SpotProgress",
+    "SpotRunResult",
+    "SpotRunStats",
+    "execute_plan_spot",
     # the core and its policies
     "ExecutionCore",
     "CoreResult",

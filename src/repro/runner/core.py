@@ -1136,6 +1136,7 @@ class ExecutionCore:
         strategy: str | None = None,
         bill: bool = True,
         label: str | None = None,
+        record_kind: str = "runner",
     ) -> None:
         self.cloud = cloud
         self.workload = workload
@@ -1147,6 +1148,7 @@ class ExecutionCore:
         self.strategy = strategy if strategy is not None else plan.strategy
         self.bill = bill
         self.label = label if label is not None else "core"
+        self.record_kind = record_kind
 
     def run(self) -> CoreResult:
         """Execute the plan under the policy triple; return everything.
@@ -1228,7 +1230,7 @@ class ExecutionCore:
         n_bins = len(ctx.by_index)
         phase_names = ("acquire", "execute", "finalize")
         ledger.append(RunRecord(
-            kind="runner",
+            kind=self.record_kind,
             label=self.label,
             config={
                 "strategy": self.strategy,

@@ -26,6 +26,12 @@ class TestFastExamples:
         assert "on-demand" in out
         assert "$" in out
 
+    def test_spot_fallback(self, capsys):
+        out = run_example("spot_fallback.py", capsys)
+        assert "fallback ladder" in out
+        assert "naive spot" in out
+        assert "pure on-demand" in out
+
     def test_fault_tolerance(self, capsys):
         out = run_example("fault_tolerance.py", capsys)
         assert "processed exactly once" in out
@@ -57,6 +63,7 @@ class TestExampleFilesExist:
         "fault_tolerance.py",
         "text_workflow.py",
         "spot_market.py",
+        "spot_fallback.py",
         "fleet_sharing.py",
     ])
     def test_listed_example_exists_and_has_main(self, name):

@@ -2,15 +2,26 @@
 
 `tests/test_cloud_service.py` covers the happy paths; here the contract
 edges are pinned: price caching is idempotent per seed, the price floor
-actually clamps (not just "prices happen to stay above it"), and a bid
-the market never meets buys nothing — zero cost, zero progress, and an
-honest ``done=False``.
+actually clamps (not just "prices happen to stay above it"), a bid the
+market never meets buys nothing — zero cost, zero progress, and an
+honest ``done=False`` — and the per-AZ market board's fork discipline:
+attaching a board (or querying new zones) never shifts any stream an
+existing consumer observes.
 """
 
 import pytest
 
-from repro.cloud.spot import SpotMarket, SpotRequest
+from repro.chaos import SpotInterruptionTrace
+from repro.cloud import Cloud
+from repro.cloud.spot import (
+    TWO_MINUTE_WARNING,
+    SpotMarket,
+    SpotMarketBoard,
+    SpotRequest,
+)
+from repro.cloud.types import LARGE, SMALL
 from repro.sim.random import RngStream
+from repro.units import HOUR
 
 
 class TestSeedDeterminism:
@@ -89,3 +100,134 @@ class TestBidNeverMet:
         with pytest.raises(ValueError):
             SpotRequest(bid=1.0).simulate_progress(
                 m, horizon_hours=10, work_hours=-1.0)
+
+    def test_zero_work_completed_hour_is_zero(self):
+        """Regression: zero work completes at hour 0, not ``None`` — even
+        when the bid never holds, with nothing billed."""
+        m = SpotMarket(rng=RngStream(11))
+        out = SpotRequest(bid=m.floor / 2).simulate_progress(
+            m, horizon_hours=10, work_hours=0.0)
+        assert out == {"completed_hour": 0, "paid_hours": 0,
+                       "cost": 0.0, "done": True}
+
+
+class TestMarketBoard:
+    def test_same_fork_same_board(self):
+        a = SpotMarketBoard(RngStream(9, "cloud").fork("spot.board"),
+                            ("za", "zb"))
+        b = SpotMarketBoard(RngStream(9, "cloud").fork("spot.board"),
+                            ("za", "zb"))
+        assert [a.price("za", h) for h in range(48)] == \
+            [b.price("za", h) for h in range(48)]
+
+    def test_zones_are_independent_markets(self):
+        board = SpotMarketBoard(RngStream(9), ("za", "zb"))
+        assert board.market("za").prices(48) != board.market("zb").prices(48)
+
+    def test_attaching_a_board_never_shifts_cloud_draws(self):
+        """The board is a named fork: creating it (and pricing every
+        zone) must leave the cloud's own streams byte-identical."""
+        plain = Cloud(seed=77)
+        witness = plain.rng.fork("witness").normal(0.0, 1.0)
+
+        cloud = Cloud(seed=77)
+        board = SpotMarketBoard.for_cloud(cloud)
+        for z in cloud.region.zones:
+            board.price(z.name, 0)
+            board.price(z.name, 24, LARGE)
+        assert cloud.rng.fork("witness").normal(0.0, 1.0) == witness
+
+    def test_hour_zero_prices_disagree_across_zones(self):
+        board = SpotMarketBoard.for_cloud(Cloud(seed=11))
+        opening = {board.price(z, 0) for z in board.zones}
+        assert len(opening) > 1
+
+    def test_large_prices_scale_with_on_demand_ratio(self):
+        board = SpotMarketBoard(RngStream(3), ("za",), volatility=0.0)
+        ratio = LARGE.hourly_rate / SMALL.hourly_rate
+        assert board.market("za", LARGE).mean_price == \
+            pytest.approx(board.mean_price * ratio)
+        assert board.price("za", 0, LARGE) == \
+            pytest.approx(board.price("za", 0, SMALL) * ratio)
+        # a reference-terms bid covers LARGE iff it covers SMALL's market
+        assert board.affordable("za", 0, 0.06, LARGE) == \
+            board.affordable("za", 0, 0.06, SMALL)
+
+    def test_unknown_zone_rejected(self):
+        board = SpotMarketBoard(RngStream(3), ("za",))
+        with pytest.raises(KeyError):
+            board.price("nope", 0)
+
+
+class TestInterruptionCalculus:
+    def test_unmeetable_bid_crosses_at_first_hour_boundary(self):
+        board = SpotMarketBoard(RngStream(5), ("za",))
+        hit = board.next_crossing("za", after=100.0, bid=board.floor / 2)
+        assert hit is not None
+        assert hit.at == HOUR
+        assert hit.warning_at == HOUR - TWO_MINUTE_WARNING
+        assert hit.source == "market"
+
+    def test_generous_bid_never_crosses(self):
+        board = SpotMarketBoard(RngStream(5), ("za",))
+        assert board.next_crossing("za", after=0.0, bid=10.0,
+                                   horizon_hours=48) is None
+
+    def test_crossing_is_strictly_after(self):
+        """An instance started exactly on a crossing boundary survives
+        until the *next* crossing, not its own start instant."""
+        board = SpotMarketBoard(RngStream(5), ("za",))
+        hit = board.next_crossing("za", after=HOUR, bid=board.floor / 2)
+        assert hit is not None and hit.at == 2 * HOUR
+
+
+class TestSpotBilling:
+    def _board(self):
+        # volatility 0: every hour bills at exactly the mean price
+        return SpotMarketBoard(RngStream(1), ("za",), volatility=0.0,
+                               mean_price=0.04)
+
+    def test_user_termination_charges_partial_hour(self):
+        rows = self._board().bill_segment("za", 0.0, 1.5 * HOUR)
+        assert [(s, e) for s, e, _ in rows] == \
+            [(0.0, HOUR), (HOUR, 1.5 * HOUR)]
+        assert all(p == pytest.approx(0.04) for _, _, p in rows)
+
+    def test_market_reclaim_trailing_partial_is_free(self):
+        rows = self._board().bill_segment("za", 0.0, 1.5 * HOUR,
+                                          interrupted=True)
+        assert [(s, e) for s, e, _ in rows] == [(0.0, HOUR)]
+
+    def test_reclaim_on_exact_boundary_charges_every_hour(self):
+        rows = self._board().bill_segment("za", 0.0, 2.0 * HOUR,
+                                          interrupted=True)
+        assert len(rows) == 2
+
+    def test_empty_segment_bills_nothing(self):
+        assert self._board().bill_segment("za", 50.0, 50.0) == []
+
+    def test_backwards_segment_rejected(self):
+        with pytest.raises(ValueError):
+            self._board().bill_segment("za", HOUR, 0.0)
+
+
+class TestInterruptionTrace:
+    def _trace(self):
+        return SpotInterruptionTrace.generate(
+            "t", seed=13, zones=("za", "zb"), mean_gap_hours=0.5,
+            horizon_hours=6.0)
+
+    def test_generation_is_a_pure_function_of_its_inputs(self):
+        a, b = self._trace(), self._trace()
+        assert a == b
+        assert list(a.events) == sorted(a.events)
+
+    def test_zones_decorrelated(self):
+        trace = self._trace()
+        assert trace.events_for("za") != trace.events_for("zb")
+
+    def test_next_after_is_strictly_after(self):
+        trace = self._trace()
+        first = trace.events_for("za")[0]
+        assert trace.next_after("za", first) > first
+        assert trace.next_after("za", 6.0 * HOUR) is None
