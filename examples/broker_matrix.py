@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""One DAG campaign, four capacity broker stacks, one interruption storm.
+
+The capacity broker layer makes acquisition composable: the same
+fan-out/fan-in workflow can run each stage on private on-demand fleets,
+on a shared warm-lease pool, on the raw spot market behind the fallback
+ladder, or on spot with interrupted segments escalating into warm leases
+before paying list price.  This example replays the same eviction-storm
+regime over every stack and prints what each one pays for the identical
+work — the single-machine version of ``python -m repro.cli matrix``.
+
+Run:  python examples/broker_matrix.py
+"""
+
+from repro.chaos import FaultInjector, get_spot_regime
+from repro.cloud import Cloud
+from repro.corpus import html_18mil_like
+from repro.dag import S3Backend, execute_dag, fanout_pipeline
+from repro.units import HOUR, fmt_bytes, fmt_seconds
+
+SEED = 11
+SCALE = 2e-4          # ~3.6k files, ~210 MB
+DEADLINE = 6 * HOUR
+STACKS = ("fleet", "leased", "spot", "spot-lease")
+
+
+def storm_cloud() -> Cloud:
+    """A fresh cloud replaying the eviction-storm spot regime."""
+    scenario = get_spot_regime("eviction-storm").scenario(SEED)
+    return Cloud(seed=SEED, chaos=FaultInjector([scenario], seed=SEED))
+
+
+def main() -> None:
+    catalogue = html_18mil_like(scale=SCALE, seed=SEED)
+    print(f"input: {len(catalogue)} HTML files, "
+          f"{fmt_bytes(catalogue.total_size)}")
+    print("regime: eviction-storm (interruptions every ~15 min)\n")
+
+    baseline = None
+    print(f"{'stack':>10} {'makespan':>10} {'missed':>7} {'total':>8} "
+          f"{'vs on-demand':>13}")
+    for stack in STACKS:
+        report = execute_dag(
+            storm_cloud(), fanout_pipeline(), catalogue, DEADLINE,
+            backend=S3Backend(), policy=stack,
+            label=f"broker-matrix.{stack}")
+        if baseline is None:
+            baseline = report.total_cost     # the on-demand fleet control
+        ratio = report.total_cost / baseline if baseline else 0.0
+        interruptions = (report.spot_stats or {}).get("interruptions", 0)
+        tail = f" ({interruptions} interruptions ridden out)" \
+            if interruptions else ""
+        print(f"{stack:>10} {fmt_seconds(report.makespan):>10} "
+              f"{report.n_missed:>4}/{report.n_bins:<2} "
+              f"${report.total_cost:>7.4f} {ratio:>12.2f}x{tail}")
+
+    print("\nsame bins, same deadline — the broker stack is the only "
+          "thing that changed")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,7 +19,7 @@ from repro.cloud.instance import HeterogeneityModel
 from repro.corpus import html_18mil_like
 from repro.perfmodel import HistoricalPredictor, QualityTracker, RunHistory
 from repro.runner import execute_quality_aware
-from repro.units import GB, fmt_bytes, fmt_seconds
+from repro.units import fmt_bytes, fmt_seconds
 
 
 def main() -> None:

@@ -210,6 +210,55 @@ def collect_spot_stats() -> dict:
     }
 
 
+def collect_matrix_stats() -> dict:
+    """Capacity-matrix facts for the entry: broker stacks under fire.
+
+    Runs the broker-stack matrix (on-demand fleet control, spot ladder,
+    spot with warm-lease escalation — each over both workflow shapes,
+    every interruption regime and the default seeds) and records the
+    per-(stack, regime) grid, the per-stack SLO verdicts, and the
+    headline ``cost_ratio_vs_on_demand`` — the mean bill of the spot
+    stacks relative to the like-for-like on-demand baseline.  That
+    headline feeds the ``--check`` gate: a broker regression that makes
+    the ladder escalate to list price too eagerly, leaks lease hours, or
+    re-runs interrupted segments it already paid for moves the ratio
+    toward 1.0 like a kernel-median regression.
+    """
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.experiments.exp_matrix import evaluate_matrix_slos, matrix_sweep
+
+    _, stats = matrix_sweep()
+    slo = evaluate_matrix_slos(stats)
+    grid = {
+        f"{g['stack']}@{g['regime']}": {
+            "miss_rate": g["miss_rate"],
+            "mean_cost_ratio": g["mean_cost_ratio"],
+        }
+        for g in stats["grid"]
+    }
+    spot_stacks = [s for s in ("spot", "spot-lease") if s in stats["stacks"]]
+    ratios = [stats["stacks"][s]["mean_cost_ratio"] for s in spot_stacks]
+    return {
+        "workload": f"{len(stats['stacks'])} broker stacks x 2 shapes x "
+                    "3 interruption regimes x default seeds",
+        "grid": grid,
+        "stack_miss_rates": {
+            s: agg["miss_rate"] for s, agg in sorted(stats["stacks"].items())},
+        "stack_cost_ratios": {
+            s: agg["mean_cost_ratio"]
+            for s, agg in sorted(stats["stacks"].items())},
+        "cost_ratio_vs_on_demand": round(sum(ratios) / len(ratios), 4)
+        if ratios else 1.0,
+        "slo_ok": {s: r.ok for s, r in sorted(slo.items())},
+        "acceptance_spot_le_10pct_everywhere": all(
+            v["miss_rate"] <= 0.10 for k, v in grid.items()
+            if k.split("@")[0] in spot_stacks),
+        "acceptance_spot_cheaper_than_on_demand_everywhere": all(
+            v["mean_cost_ratio"] < 1.0 for k, v in grid.items()
+            if k.split("@")[0] in spot_stacks),
+    }
+
+
 #: Capability metrics are min-of-N: host interference is one-sided.
 BEST_OF = 3
 
@@ -494,11 +543,13 @@ TRACKED_METRICS = {
     "engine.fleet_100k_wall_seconds": "lower",
     "dag.events_per_s": "higher",
     "spot.cost_ratio_vs_on_demand": "lower",
+    "matrix.cost_ratio_vs_on_demand": "lower",
 }
 
 #: Simulated-economics metrics are seed-deterministic: host speed cannot
 #: move them, so the calibration ratio must not be applied.
-CALIBRATION_EXEMPT = {"spot.cost_ratio_vs_on_demand"}
+CALIBRATION_EXEMPT = {"spot.cost_ratio_vs_on_demand",
+                      "matrix.cost_ratio_vs_on_demand"}
 
 
 def _tracked_values(entry: dict) -> dict[str, float]:
@@ -557,6 +608,7 @@ def check(warn_only: bool) -> int:
                 "engine": collect_engine_stats(),
                 "dag": collect_dag_stats(),
                 "spot": collect_spot_stats(),
+                "matrix": collect_matrix_stats(),
             })
         finally:
             set_run_ledger(previous)
@@ -639,6 +691,7 @@ def main() -> None:
         "runner_core": collect_runner_core_stats(),
         "engine": collect_engine_stats(),
         "dag": collect_dag_stats(),
+        "matrix": collect_matrix_stats(),
         "calibration_ops_per_s": round(host_calibration(), 1),
     }
 

@@ -14,7 +14,7 @@ sweeps all of them with the resilience layer on and off.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.sim.random import RngStream
 from repro.units import HOUR

@@ -14,6 +14,8 @@ Usage::
                                                    # same grid, all cores
     python -m repro.cli dag --backend s3 ebs --slo
                                                    # DAG backend comparison
+    python -m repro.cli matrix --stack spot spot-lease --slo
+                                                   # broker-stack matrix
     python -m repro.cli trace quickstart --out trace.json
                                                    # traced demo run
     python -m repro.cli runs list                  # the persistent run ledger
@@ -405,6 +407,52 @@ def cmd_dag(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_matrix(args: argparse.Namespace) -> int:
+    """``matrix`` subcommand: broker stack × shape × regime DAG sweep."""
+    from repro.experiments.exp_matrix import (
+        DEFAULT_SEEDS,
+        REGIMES,
+        SHAPES,
+        STACKS,
+        evaluate_matrix_slos,
+        matrix_sweep,
+    )
+    from repro.obs.slo import render_slo_table
+
+    stacks = tuple(args.stacks) or STACKS
+    shapes = tuple(args.shapes) or SHAPES
+    regimes = tuple(args.regimes) or REGIMES
+    unknown = [s for s in stacks if s not in STACKS]
+    unknown += [s for s in shapes if s not in SHAPES]
+    unknown += [r for r in regimes if r not in REGIMES]
+    if unknown:
+        _log.error("unknown stack/shape/regime(s): %s; stacks: %s, "
+                   "shapes: %s, regimes: %s", ", ".join(unknown),
+                   ", ".join(STACKS), ", ".join(SHAPES), ", ".join(REGIMES))
+        return 2
+    if args.seeds < 1:
+        _log.error("--seeds must be at least 1")
+        return 2
+    seeds = tuple(DEFAULT_SEEDS[i % len(DEFAULT_SEEDS)]
+                  + 100 * (i // len(DEFAULT_SEEDS))
+                  for i in range(args.seeds))
+    fig, stats = matrix_sweep(list(stacks), shapes=shapes, regimes=regimes,
+                              seeds=seeds, processes=args.processes)
+    print(render_ascii(fig))
+    print()
+    for stack, agg in stats["stacks"].items():
+        print(f"{stack:>10}  miss {agg['miss_rate']:.3f}  "
+              f"cost x{agg['mean_cost_ratio']:.3f} of on-demand "
+              f"(${agg['mean_cost_usd']:.3f}/run)")
+    if args.slo:
+        print()
+        for stack, report in sorted(evaluate_matrix_slos(stats).items()):
+            print(f"stack={stack}")
+            print(render_slo_table(report))
+            print()
+    return 0
+
+
 def _ledger_for(args: argparse.Namespace) -> RunLedger:
     return RunLedger(args.runs_dir)
 
@@ -460,26 +508,30 @@ def cmd_runs_diff(args: argparse.Namespace) -> int:
 def cmd_runs_slo(args: argparse.Namespace) -> int:
     """``runs slo``: evaluate campaign SLOs over recorded sweep cells.
 
-    ``--policy chaos`` (default) groups cells by resilience side and
-    holds them to the chaos SLOs; ``--policy dag`` groups by data-sharing
-    backend and holds them to the workflow deadline SLOs; ``--policy
-    spot`` groups spot-provisioning cells by ladder side and holds them
-    to the spot campaign SLOs.
+    ``--policy`` names a registered campaign SLO policy — experiments
+    register theirs in :mod:`repro.experiments.registry`, so new
+    campaigns become judgeable here without touching the CLI.  An
+    unknown name exits 2 and lists what is registered.
     """
+    from repro.experiments.registry import (
+        get_slo_policy,
+        load_defaults,
+        slo_policy_names,
+    )
     from repro.obs.slo import render_slo_table
 
-    if args.policy == "dag":
-        from repro.experiments.exp_dag import DAG_SLOS as slos
-        group_key, group_name = "config.backend", "backend"
-    elif args.policy == "spot":
-        from repro.experiments.exp_spot import SPOT_SLOS as slos
-        group_key, group_name = "config.policy", "policy"
-    else:
-        from repro.experiments.exp_chaos import CHAOS_SLOS as slos
-        group_key, group_name = "config.policy", "policy"
+    load_defaults()
+    try:
+        entry = get_slo_policy(args.policy)
+    except KeyError:
+        _log.error("unknown SLO policy %r; registered: %s", args.policy,
+                   ", ".join(slo_policy_names()))
+        return 2
+    slos = entry.slos
+    group_key, group_name = entry.group_key, entry.group_name
 
     ledger = _ledger_for(args)
-    label_prefix = {"spot": "exp_spot.", "chaos": "exp_chaos."}.get(args.policy)
+    label_prefix = entry.label_prefix
     records = [r for r in ledger.records(kind="sweep-cell",
                                          label=args.label or None)
                if r.get(group_key) is not None
@@ -642,6 +694,30 @@ def main(argv: list[str] | None = None) -> int:
                        help="print the per-backend SLO tables")
     p_dag.set_defaults(fn=cmd_dag)
 
+    p_mx = sub.add_parser(
+        "matrix", help="sweep workflow DAGs over capacity broker stacks")
+    p_mx.add_argument("--stack", dest="stacks", nargs="*", default=[],
+                      metavar="NAME",
+                      help="broker stacks to sweep: fleet, spot, spot-lease "
+                           "(default: all three)")
+    p_mx.add_argument("--shape", dest="shapes", nargs="*", default=[],
+                      metavar="SHAPE",
+                      help="DAG shapes to sweep: linear, fanout "
+                           "(default: both)")
+    p_mx.add_argument("--regime", dest="regimes", nargs="*", default=[],
+                      metavar="REGIME",
+                      help="spot interruption regimes: calm, choppy, "
+                           "eviction-storm (default: all three)")
+    p_mx.add_argument("--seeds", type=int, default=3, metavar="N",
+                      help="number of campaign seeds to aggregate "
+                           "(default: 3)")
+    p_mx.add_argument("--processes", type=int, default=1, metavar="P",
+                      help="worker processes for the sweep grid "
+                           "(default: 1 = inline)")
+    p_mx.add_argument("--slo", action="store_true",
+                      help="print the per-stack SLO tables")
+    p_mx.set_defaults(fn=cmd_matrix)
+
     p_runs = sub.add_parser(
         "runs", help="query the persistent flight-recorder ledger")
     runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
@@ -680,11 +756,10 @@ def main(argv: list[str] | None = None) -> int:
         "slo", help="evaluate chaos SLOs over recorded sweep cells")
     p_rslo.add_argument("--label", default=None, metavar="LABEL",
                         help="only records with this label")
-    p_rslo.add_argument("--policy", choices=("chaos", "dag", "spot"),
-                        default="chaos",
-                        help="SLO policy to evaluate: chaos campaign "
-                             "(default), dag workflow deadlines, or the "
-                             "spot provisioning campaign")
+    p_rslo.add_argument("--policy", default="chaos", metavar="NAME",
+                        help="registered SLO policy to evaluate (default: "
+                             "chaos; e.g. chaos, dag, spot, matrix — an "
+                             "unknown name lists what is registered)")
     p_rslo.add_argument("--strict", action="store_true",
                         help="exit 3 when any policy side violates an SLO")
     p_rslo.set_defaults(fn=cmd_runs_slo)
@@ -706,7 +781,7 @@ def main(argv: list[str] | None = None) -> int:
                       help="span category for --gantt (default: runner)")
     p_tr.set_defaults(fn=cmd_trace)
 
-    for p in (p_fig, p_ds, p_qs, p_fl, p_ch, p_sp, p_sw, p_dag, p_tr):
+    for p in (p_fig, p_ds, p_qs, p_fl, p_ch, p_sp, p_sw, p_dag, p_mx, p_tr):
         p.add_argument("--metrics", action="store_true",
                        help="print the metrics table after the run")
         p.add_argument("--runs-dir", default=".repro/runs", metavar="DIR",

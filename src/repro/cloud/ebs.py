@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.cloud.instance import Instance, InstanceError
+from repro.cloud.instance import Instance
 from repro.cloud.types import AvailabilityZone
 from repro.sim.random import RngStream, stable_seed
 

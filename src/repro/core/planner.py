@@ -18,7 +18,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.apps.base import Unit, as_unit_meta
+from repro.apps.base import Unit
 from repro.packing import (
     first_fit_layout,
     pack_into_n_bins_layout,

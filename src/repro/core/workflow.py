@@ -17,7 +17,6 @@ observation the paper cites).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 import networkx as nx

@@ -21,7 +21,7 @@ really is HTML, as consumed by grep in §5.1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from functools import lru_cache
 
 from repro.sim.random import RngStream

@@ -89,6 +89,7 @@ class DagReport:
     stages: dict[str, StageResult] = field(default_factory=dict)
     transfers: list[TransferRecord] = field(default_factory=list)
     lease_stats: dict | None = None
+    spot_stats: dict | None = None
 
     @property
     def makespan(self) -> float:
@@ -172,6 +173,7 @@ class DagScheduler:
         policy: str = "fleet",
         stage_policies: dict[str, StagePolicy] | None = None,
         lease_manager: LeaseManager | None = None,
+        spot_policy=None,
         strategy: str = "uniform",
         hour_align: bool = True,
         service: ExecutionService | None = None,
@@ -179,8 +181,9 @@ class DagScheduler:
     ) -> None:
         if mode not in ("concurrent", "serial"):
             raise WorkflowError("mode must be 'concurrent' or 'serial'")
-        if policy not in ("fleet", "leased"):
-            raise WorkflowError("policy must be 'fleet' or 'leased'")
+        if policy not in ("fleet", "leased", "spot", "spot-lease"):
+            raise WorkflowError(
+                "policy must be 'fleet', 'leased', 'spot' or 'spot-lease'")
         if not len(graph):
             raise WorkflowError("empty workflow")
         self.cloud = cloud
@@ -195,10 +198,41 @@ class DagScheduler:
         self.hour_align = hour_align
         self.svc = service or ExecutionService(cloud)
         self.label = label
-        self._own_manager = policy == "leased" and lease_manager is None
+        self._own_manager = (policy in ("leased", "spot-lease")
+                             and lease_manager is None)
         self.manager = (lease_manager if lease_manager is not None
                         else LeaseManager(cloud, tag=label)
-                        if policy == "leased" else None)
+                        if policy in ("leased", "spot-lease") else None)
+        # Spot policies share one market board, ladder and stats object
+        # across every stage, so the whole DAG sees a coherent market;
+        # "spot-lease" escalates interrupted segments into the shared
+        # warm pool before paying list price.
+        self.spot_stats = None
+        self._spot = None
+        if policy in ("spot", "spot-lease"):
+            from repro.capacity import (
+                LadderBroker,
+                OnDemandBroker,
+                WarmLeaseBroker,
+            )
+            from repro.cloud.spot import SpotMarketBoard
+            from repro.resilience.spot import SpotFallbackPolicy, SpotLadder
+            from repro.runner.spot import SpotRunStats
+
+            board = SpotMarketBoard.for_cloud(cloud)
+            ladder = SpotLadder(
+                board,
+                policy=(spot_policy if spot_policy is not None
+                        else SpotFallbackPolicy()),
+                chaos=cloud.chaos)
+            self.spot_stats = SpotRunStats()
+            escalation = None
+            if policy == "spot-lease":
+                escalation = LadderBroker([
+                    WarmLeaseBroker(self.manager, tenant="spot-escalation"),
+                    OnDemandBroker(),
+                ])
+            self._spot = (board, ladder, escalation)
         # run state
         self._states: dict[str, _StageState] = {}
         self._produced: dict[str, Catalogue] = {}
@@ -227,6 +261,13 @@ class DagScheduler:
         override = self.stage_policies.get(name)
         if override is not None:
             return override
+        if self._spot is not None:
+            # Fresh acquisition per stage (per-bin offers must not collide
+            # across stages), shared board/ladder/stats underneath.
+            board, ladder, escalation = self._spot
+            return StagePolicy.spot(board, ladder, stats=self.spot_stats,
+                                    chaos=self.cloud.chaos,
+                                    escalation=escalation)
         if self.manager is not None:
             return StagePolicy.leased(self.manager, tenant=name,
                                       campaign=f"stage:{name}")
@@ -281,6 +322,8 @@ class DagScheduler:
             stages=dict(self._results),
             transfers=list(self._transfers),
             lease_stats=self.manager.stats() if self.manager else None,
+            spot_stats=(self.spot_stats.summary()
+                        if self.spot_stats is not None else None),
         )
         ledger = get_run_ledger()
         if ledger is not None:
@@ -492,6 +535,8 @@ class DagScheduler:
                 "total_cost_usd": report.total_cost,
                 **({"lease_stats": report.lease_stats}
                    if report.lease_stats else {}),
+                **({"spot_stats": report.spot_stats}
+                   if report.spot_stats else {}),
             },
         ))
 
@@ -505,13 +550,20 @@ def execute_dag(
     backend: DataBackend | None = None,
     mode: str = "concurrent",
     policy: str = "fleet",
+    spot_policy=None,
     strategy: str = "uniform",
     hour_align: bool = True,
     service: ExecutionService | None = None,
     label: str = "dag",
 ) -> DagReport:
-    """Plan and run a workflow graph end to end (one-call convenience)."""
+    """Plan and run a workflow graph end to end (one-call convenience).
+
+    ``policy`` picks the per-stage broker stack: ``"fleet"`` private
+    on-demand boots, ``"leased"`` a shared warm pool, ``"spot"`` the
+    market behind the fallback ladder, ``"spot-lease"`` spot with
+    escalated segments drawing warm leases before paying list price.
+    """
     return DagScheduler(cloud, graph, catalogue, deadline, backend=backend,
-                        mode=mode, policy=policy, strategy=strategy,
-                        hour_align=hour_align, service=service,
-                        label=label).run()
+                        mode=mode, policy=policy, spot_policy=spot_policy,
+                        strategy=strategy, hour_align=hour_align,
+                        service=service, label=label).run()

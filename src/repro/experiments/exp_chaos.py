@@ -337,3 +337,10 @@ def chaos_sweep(
         },
     )
     return fig, stats
+
+
+# CLI resolution: `repro runs slo --policy chaos` judges this campaign.
+from repro.experiments.registry import register_slo_policy  # noqa: E402
+
+register_slo_policy("chaos", slos=CHAOS_SLOS, group_key="config.policy",
+                    group_name="policy", label_prefix="exp_chaos.")

@@ -239,3 +239,10 @@ def dag_sweep(
         },
     )
     return fig, stats
+
+
+# CLI resolution: `repro runs slo --policy dag` judges this campaign.
+from repro.experiments.registry import register_slo_policy  # noqa: E402
+
+register_slo_policy("dag", slos=DAG_SLOS, group_key="config.backend",
+                    group_name="backend")

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.apps import PosCostProfile, PosTaggerApplication
 from repro.cloud import Cloud, ExecutionService, Workload, acquire_good_instance

@@ -3,7 +3,6 @@ retrieval, and the spot-market extension."""
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.apps import GrepApplication, GrepCostProfile, PosCostProfile, PosTaggerApplication
 from repro.cloud import Cloud, ExecutionService, Workload
@@ -14,7 +13,6 @@ from repro.obs.ledger import record_experiment
 from repro.report.figures import FigureResult
 from repro.sim.random import RngStream
 from repro.units import GB, KB, MB
-from repro.vfs.files import Catalogue
 
 __all__ = ["instance_switching", "probe_protocol_trace", "output_retrieval",
            "spot_tradeoff", "prediction_approaches", "sampling_vitality"]

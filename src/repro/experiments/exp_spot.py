@@ -337,3 +337,10 @@ def spot_sweep(
         },
     )
     return fig, stats
+
+
+# CLI resolution: `repro runs slo --policy spot` judges this campaign.
+from repro.experiments.registry import register_slo_policy  # noqa: E402
+
+register_slo_policy("spot", slos=SPOT_SLOS, group_key="config.policy",
+                    group_name="policy", label_prefix="exp_spot.")

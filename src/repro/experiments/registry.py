@@ -1,0 +1,84 @@
+"""SLO-policy registry: experiments register, the CLI resolves by name.
+
+``repro.cli runs slo --policy NAME`` used to hard-code an if/elif over
+the experiment modules; every new campaign meant editing the CLI.  Now
+each experiment module registers its declared SLO policy here at import
+time (at the bottom of the module, next to the policy it describes), and
+the CLI resolves names dynamically — an unknown name lists what *is*
+registered instead of silently defaulting.
+
+An entry carries everything ``runs slo`` needs to group and judge a
+campaign's sweep-cell records:
+
+* ``slos`` — the :class:`~repro.obs.slo.SloPolicy` holding the declared
+  objectives;
+* ``group_key`` — the record field the verdict tables group by
+  (``"config.policy"``, ``"config.backend"``, ``"config.stack"`` …);
+* ``group_name`` — how that group is titled in the rendered table;
+* ``label_prefix`` — when set, only sweep-cell records whose label
+  starts with it are considered (unless the user filtered by an explicit
+  ``--label``), so campaigns sharing a ledger don't judge each other's
+  cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.slo import SloPolicy
+
+__all__ = ["SloPolicyEntry", "register_slo_policy", "get_slo_policy",
+           "slo_policy_names", "load_defaults"]
+
+
+@dataclass(frozen=True)
+class SloPolicyEntry:
+    """One named, CLI-resolvable campaign SLO policy."""
+
+    name: str
+    slos: "SloPolicy"
+    group_key: str
+    group_name: str
+    label_prefix: str | None = None
+
+
+_REGISTRY: dict[str, SloPolicyEntry] = {}
+
+
+def register_slo_policy(name: str, *, slos: "SloPolicy", group_key: str,
+                        group_name: str,
+                        label_prefix: str | None = None) -> SloPolicyEntry:
+    """Register (or re-register) the SLO policy ``name`` resolves to.
+
+    Re-registration replaces the entry — the common case is a module
+    reload, and last-writer-wins keeps that harmless.
+    """
+    entry = SloPolicyEntry(name=name, slos=slos, group_key=group_key,
+                           group_name=group_name, label_prefix=label_prefix)
+    _REGISTRY[name] = entry
+    return entry
+
+
+def get_slo_policy(name: str) -> SloPolicyEntry:
+    """The registered entry for ``name``; raises KeyError when unknown."""
+    return _REGISTRY[name]
+
+
+def slo_policy_names() -> list[str]:
+    """Sorted names of every registered SLO policy."""
+    return sorted(_REGISTRY)
+
+
+def load_defaults() -> None:
+    """Import the shipped experiment modules so they self-register.
+
+    Idempotent — Python's import cache makes repeat calls free; a module
+    that fails to import propagates, since a missing default registration
+    is a bug, not a configuration choice.
+    """
+    import repro.experiments.exp_chaos  # noqa: F401
+    import repro.experiments.exp_dag  # noqa: F401
+    import repro.experiments.exp_matrix  # noqa: F401
+    import repro.experiments.exp_spot  # noqa: F401

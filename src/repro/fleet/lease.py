@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import enum
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cloud.billing import UsageRecord
 from repro.cloud.cluster import Cloud

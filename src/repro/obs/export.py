@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Iterator
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer

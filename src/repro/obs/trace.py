@@ -30,7 +30,7 @@ path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Optional
+from typing import Any, Callable, Iterable
 
 __all__ = ["SpanRecord", "InstantRecord", "Span", "Tracer", "NULL_SPAN"]
 

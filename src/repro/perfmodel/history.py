@@ -16,7 +16,6 @@ weakness the paper calls out.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
 
 import numpy as np
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cloud.bonnie import BonnieResult
-from repro.perfmodel.regression import AffinePredictor, FitError, fit_affine
+from repro.perfmodel.regression import FitError, fit_affine
 from repro.units import MB
 
 __all__ = ["QualityTracker", "QualityError"]

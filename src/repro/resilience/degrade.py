@@ -15,7 +15,7 @@ from the nominal one: ``advisory = predict(v_max) * (1 + a)`` with
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover

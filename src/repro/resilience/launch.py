@@ -24,11 +24,12 @@ dynamic and fault-tolerant runners previously each hand-rolled.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.resilience.breaker import BreakerBoard
 from repro.resilience.retry import RetryPolicy
+from repro.units import resume_time
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cloud.cluster import Cloud
@@ -270,8 +271,8 @@ def acquire_replacement(
     if launcher is not None:
         acq = launcher.launch(at=at)
         inst = acq.instance
-        inst.mark_running(max(cloud.now, inst.ready_at))
+        inst.mark_running(resume_time(cloud.now, inst.ready_at))
         return inst, None, acq.wait_seconds + boot_attach_penalty
     inst = cloud.launch_instance(wait=False)
-    inst.mark_running(max(cloud.now, inst.ready_at))
+    inst.mark_running(resume_time(cloud.now, inst.ready_at))
     return inst, None, boot_attach_penalty

@@ -64,7 +64,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Protocol
+from typing import TYPE_CHECKING, Callable, Iterable, Protocol
 
 from repro.cloud.cluster import Cloud
 from repro.cloud.service import ExecutionService, Workload
@@ -344,138 +344,51 @@ class CompletionPolicy:
 # --------------------------------------------------------------------------
 
 
-class FleetLaunchAcquisition:
+def FleetLaunchAcquisition(*, launcher: "ResilientLauncher | None" = None,
+                           lease_manager: "LeaseManager | None" = None,
+                           on_fault: str = "fail-bin",
+                           replacement_tenant: str = "runner"):
     """Private fleet: one (possibly resilient) launch per occupied bin.
 
-    ``on_fault="fail-bin"`` records refused launches as
-    :class:`~repro.runner.execute.FailedBin` entries (the resilience-off
-    baseline); ``on_fault="raise"`` propagates the fault, which is the
-    event-driven runner's legacy contract.  Replacements route through
+    A factory over :class:`~repro.capacity.BrokerAcquisition`: with a
+    ``launcher`` the stack is a
+    :class:`~repro.capacity.ResilientBroker`, otherwise a plain
+    :class:`~repro.capacity.OnDemandBroker`.  ``on_fault="fail-bin"``
+    records refused launches as :class:`~repro.runner.execute.FailedBin`
+    entries (the resilience-off baseline); ``on_fault="raise"``
+    propagates the fault — the event-driven runner's legacy contract,
+    which also bypasses the launcher exactly as the seed runner did.
+    Replacements route through
     :func:`~repro.resilience.launch.acquire_replacement` with this
     policy's launcher and (optional) lease manager, so warm re-attach vs
     fresh-boot penalty timing is decided in exactly one place.
     """
+    from repro.capacity import BrokerAcquisition, OnDemandBroker, ResilientBroker
 
-    def __init__(self, *, launcher: "ResilientLauncher | None" = None,
-                 lease_manager: "LeaseManager | None" = None,
-                 on_fault: str = "fail-bin",
-                 replacement_tenant: str = "runner") -> None:
-        if on_fault not in ("fail-bin", "raise"):
-            raise ValueError("on_fault must be 'fail-bin' or 'raise'")
-        self.launcher = launcher
-        self.lease_manager = lease_manager
-        self.on_fault = on_fault
-        self.replacement_tenant = replacement_tenant
-
-    def acquire_fleet(self, ctx: CoreContext) -> None:
-        """Launch one instance per occupied bin; record refused launches."""
-        from repro.resilience.launch import launch_fleet
-
-        if self.on_fault == "raise":
-            granted = [(idx, ctx.cloud.launch_instance(wait=False), 0.0)
-                       for idx, _ in ctx.occupied]
-            failed: list[tuple[int, str]] = []
-        else:
-            granted, failed = launch_fleet(
-                ctx.cloud, [i for i, _ in ctx.occupied], launcher=self.launcher)
-        for idx, reason in failed:
-            units = ctx.by_index[idx]
-            ctx.report.failures.append(FailedBin(
-                bin_index=idx, reason=reason, n_units=len(units),
-                volume=sum(u.size for u in units)))
-        ctx.grants = [
-            BinGrant(index=idx, units=ctx.by_index[idx], instance=inst,
-                     launch_wait=wait, boot_delay=wait + inst.boot_delay,
-                     predicted=ctx.predicted[idx])
-            for idx, inst, wait in granted
-        ]
-
-    def work_start_time(self, ctx: CoreContext) -> float | None:
-        """The fleet barrier: the slowest boot (plus absorbed waits)."""
-        if not ctx.grants:
-            return None
-        return max(g.instance.ready_at + g.launch_wait for g in ctx.grants)
-
-    def on_work_start(self, ctx: CoreContext) -> None:
-        """Mark every instance RUNNING and set the report's rate."""
-        for g in ctx.grants:
-            g.instance.mark_running(ctx.engine.now)
-            g.work_start = ctx.work_start
-        ctx.report.rate = ctx.grants[0].instance.itype.hourly_rate
-
-    def grants(self, ctx: CoreContext) -> Iterator[BinGrant]:
-        """Yield the up-front grants, in bin order."""
-        yield from ctx.grants
-
-    def replacement(self, ctx: CoreContext, *, at: float,
-                    est_seconds: float = 0.0, bin_index: int | None = None,
-                    boot_attach_penalty: float = 180.0,
-                    warm_attach_penalty: float = 30.0):
-        """Draw a replacement through the one shared penalty-timing path."""
-        from repro.resilience.launch import acquire_replacement
-
-        campaign = None if bin_index is None else f"bin-{bin_index}"
-        return acquire_replacement(
-            ctx.cloud, at=at, est_seconds=est_seconds,
-            lease_manager=self.lease_manager, launcher=self.launcher,
-            tenant=self.replacement_tenant, campaign=campaign,
-            boot_attach_penalty=boot_attach_penalty,
-            warm_attach_penalty=warm_attach_penalty)
+    broker = (OnDemandBroker() if on_fault == "raise" or launcher is None
+              else ResilientBroker(launcher))
+    return BrokerAcquisition(
+        broker, on_fault=on_fault, launcher=launcher,
+        lease_manager=lease_manager, replacement_tenant=replacement_tenant)
 
 
-class LeaseAcquisition:
+def LeaseAcquisition(manager: "LeaseManager", *, tenant: str = "default",
+                     campaign: str | None = None):
     """Shared fleet: every bin draws (and returns) a lease from a manager.
 
-    Grants are produced lazily, one bin at a time, because releasing bin
-    *n*'s lease back to the warm pool is what lets bin *n+1* warm-hit it —
-    the acquire/run/release interleaving is part of the fleet's economics
+    A factory over a lazy :class:`~repro.capacity.BrokerAcquisition`
+    stacked on one :class:`~repro.capacity.WarmLeaseBroker`: grants are
+    requested one bin at a time, because releasing bin *n*'s lease back
+    to the warm pool is what lets bin *n+1* warm-hit it — the
+    acquire/run/release interleaving is part of the fleet's economics
     and is preserved exactly.
     """
+    from repro.capacity import BrokerAcquisition, WarmLeaseBroker
 
-    def __init__(self, manager: "LeaseManager", *, tenant: str = "default",
-                 campaign: str | None = None) -> None:
-        self.manager = manager
-        self.tenant = tenant
-        self.campaign = campaign
-
-    def acquire_fleet(self, ctx: CoreContext) -> None:
-        """No-op: leases are drawn per bin, inside :meth:`grants`."""
-        pass  # leases are drawn per bin, inside grants()
-
-    def work_start_time(self, ctx: CoreContext) -> float | None:
-        """Leased bins start at the current simulated time."""
-        return ctx.cloud.now if ctx.occupied else None
-
-    def on_work_start(self, ctx: CoreContext) -> None:
-        """No-op: the manager marks cold boots RUNNING itself."""
-        pass  # the manager marks cold boots RUNNING itself
-
-    def grants(self, ctx: CoreContext) -> Iterator[BinGrant]:
-        """Acquire a lease per bin, lazily, so releases can be warm-hit."""
-        t0 = ctx.work_start
-        for idx, units in ctx.occupied:
-            predicted = ctx.predicted[idx]
-            lease = self.manager.acquire(self.tenant, est_seconds=predicted,
-                                         at=t0, campaign=self.campaign)
-            yield BinGrant(
-                index=idx, units=units, instance=lease.instance,
-                boot_delay=lease.ready_at - t0, work_start=lease.ready_at,
-                predicted=predicted, lease=lease,
-                span_extra={"tenant": self.tenant, "source": lease.source})
-
-    def replacement(self, ctx: CoreContext, *, at: float,
-                    est_seconds: float = 0.0, bin_index: int | None = None,
-                    boot_attach_penalty: float = 180.0,
-                    warm_attach_penalty: float = 30.0):
-        """Draw a replacement lease from the same manager."""
-        from repro.resilience.launch import acquire_replacement
-
-        campaign = self.campaign if bin_index is None else f"bin-{bin_index}"
-        return acquire_replacement(
-            ctx.cloud, at=at, est_seconds=est_seconds,
-            lease_manager=self.manager, tenant=self.tenant, campaign=campaign,
-            boot_attach_penalty=boot_attach_penalty,
-            warm_attach_penalty=warm_attach_penalty)
+    return BrokerAcquisition(
+        WarmLeaseBroker(manager, tenant=tenant, campaign=campaign),
+        lazy=True, lease_manager=manager, replacement_tenant=tenant,
+        campaign=campaign)
 
 
 # --------------------------------------------------------------------------
@@ -1106,6 +1019,36 @@ class StagePolicy:
             progress=progress if progress is not None else RunToCompletion(),
             completion=StaticCompletion(),
             terminate_at_stage_end=True,
+        )
+
+    @classmethod
+    def spot(cls, board, ladder, *, stats=None, chaos=None,
+             escalation=None,
+             launcher: "ResilientLauncher | None" = None) -> "StagePolicy":
+        """Market-capacity stage: ``execute_plan_spot`` semantics per stage.
+
+        Stages sharing one ``board``/``ladder``/``stats`` triple see one
+        coherent spot market across the whole DAG.  ``escalation`` is the
+        broker stack escalated segments draw from — ``None`` means plain
+        on-demand; a :class:`~repro.capacity.LadderBroker` over a
+        :class:`~repro.capacity.WarmLeaseBroker` lets escalated segments
+        warm-hit hours a sibling stage already paid for, so wind-down
+        stays with the lease manager (``terminate_at_stage_end`` must be
+        off: spot segments terminate themselves as they close).
+        """
+        from repro.capacity import BrokerAcquisition, SpotBroker
+        from repro.runner.spot import SpotCompletion, SpotProgress, SpotRunStats
+
+        stats = stats if stats is not None else SpotRunStats()
+        broker = SpotBroker(board, ladder, stats=stats, escalation=escalation)
+        acquisition = BrokerAcquisition(broker, launcher=launcher,
+                                        replacement_tenant="spot")
+        return cls(
+            acquisition=acquisition,
+            progress=SpotProgress(board, ladder, acquisition=acquisition,
+                                  chaos=chaos, stats=stats),
+            completion=SpotCompletion(stats=stats),
+            terminate_at_stage_end=False,
         )
 
 

@@ -39,7 +39,7 @@ Span/metric taxonomy (extends the ``runner.*`` vocabulary):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING
 
 from repro.cloud.cluster import Cloud
 from repro.cloud.service import ExecutionService, Workload
@@ -57,9 +57,10 @@ from repro.runner.core import (
     StaticCompletion,
 )
 from repro.runner.execute import ExecutionReport, FailedBin, InstanceRun
-from repro.units import billed_hours
+from repro.units import ceil_hour_cost, resume_time
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.capacity import BrokerAcquisition, CapacityOffer
     from repro.chaos import FaultInjector
     from repro.cloud.instance import Instance
     from repro.resilience.launch import ResilientLauncher
@@ -120,13 +121,7 @@ class SpotRunStats:
         return out
 
 
-@dataclass
-class SpotBinState:
-    """Where one bin currently runs: market, zone, type."""
-
-    zone: str
-    itype: InstanceType
-    on_demand: bool = False
+from repro.capacity.brokers import SpotBinState  # noqa: E402  (re-export)
 
 
 @dataclass
@@ -146,125 +141,30 @@ def _zone_of(cloud: Cloud, name: str) -> AvailabilityZone:
     raise KeyError(f"no zone {name!r} in region {cloud.region.name}")
 
 
-class SpotAcquisition:
+def SpotAcquisition(board: SpotMarketBoard, *, ladder: SpotLadder,
+                    stats: SpotRunStats | None = None,
+                    launcher: "ResilientLauncher | None" = None,
+                    escalation=None):
     """Per-bin spot placement with preemptive on-demand starts.
 
-    Each occupied bin launches into the cheapest zone its bid covers;
-    a bin whose predicted time plus the safety buffer already exceeds the
-    plan deadline never touches the market (a *preemptive-start*
-    escalation straight to on-demand).  Bins that can get no capacity at
-    all are reported as failures, which the completion policy's
-    degradation replan re-homes when a ``launcher`` with a
-    :class:`~repro.resilience.degrade.DegradationPlanner` is attached.
+    A factory over a :class:`~repro.capacity.BrokerAcquisition` stacked
+    on a :class:`~repro.capacity.SpotBroker`: each occupied bin launches
+    into the cheapest zone its bid covers; a bin whose predicted time
+    plus the safety buffer already exceeds the plan deadline never
+    touches the market (a *preemptive-start* escalation straight into
+    the ``escalation`` broker — on-demand by default).  Bins that can
+    get no capacity at all are reported as failures, which the
+    completion policy's degradation replan re-homes when a ``launcher``
+    with a :class:`~repro.resilience.degrade.DegradationPlanner` is
+    attached.
     """
+    from repro.capacity import BrokerAcquisition, SpotBroker
 
-    def __init__(self, board: SpotMarketBoard, *, ladder: SpotLadder,
-                 stats: SpotRunStats | None = None,
-                 launcher: "ResilientLauncher | None" = None) -> None:
-        self.board = board
-        self.ladder = ladder
-        self.stats = stats if stats is not None else SpotRunStats()
-        self.launcher = launcher
-        self._states: dict[int, SpotBinState] = {}
-
-    def bin_state(self, index: int) -> SpotBinState:
-        """The market placement :meth:`acquire_fleet` chose for one bin."""
-        return self._states[index]
-
-    def acquire_fleet(self, ctx: CoreContext) -> None:
-        """Place every occupied bin on spot (or preemptively on-demand)."""
-        from repro.chaos import ChaosError
-
-        p = self.ladder.policy
-        now = ctx.cloud.now
-        grants: list[BinGrant] = []
-        for idx, units in ctx.occupied:
-            predicted = ctx.predicted[idx]
-            state, inst = None, None
-            if self.ladder.should_escalate(predicted, ctx.plan.deadline):
-                state, inst = self._launch_on_demand(ctx, idx, units,
-                                                     reason="preemptive-start")
-            else:
-                zone = self.ladder.initial_zone(now)
-                if zone is None:
-                    # Nothing affordable at t=0: escalate or report.
-                    if p.escalate:
-                        state, inst = self._launch_on_demand(
-                            ctx, idx, units, reason="unaffordable-start")
-                else:
-                    try:
-                        inst = ctx.cloud.launch_instance(
-                            p.itype, _zone_of(ctx.cloud, zone), wait=False)
-                        state = SpotBinState(zone=zone, itype=p.itype)
-                    except ChaosError as e:
-                        if p.escalate:
-                            state, inst = self._launch_on_demand(
-                                ctx, idx, units, reason=f"launch-rejected: {e}")
-            if state is None or inst is None:
-                ctx.report.failures.append(FailedBin(
-                    bin_index=idx, reason="spot-unavailable",
-                    n_units=len(units), volume=sum(u.size for u in units)))
-                if ctx.obs.enabled:
-                    ctx.obs.metrics.counter("runner.bins.failed",
-                                            reason="spot-unavailable").inc()
-                continue
-            self._states[idx] = state
-            grants.append(BinGrant(
-                index=idx, units=units, instance=inst,
-                boot_delay=inst.boot_delay, predicted=predicted,
-                span_extra={"market": "on-demand" if state.on_demand
-                            else "spot", "zone": state.zone}))
-        ctx.grants = grants
-
-    def _launch_on_demand(self, ctx: CoreContext, idx: int, units: list, *,
-                          reason: str) -> tuple[SpotBinState | None,
-                                                "Instance | None"]:
-        """Launch one full-rate instance for a bin spot cannot carry."""
-        from repro.chaos import ChaosError
-
-        p = self.ladder.policy
-        try:
-            inst = ctx.cloud.launch_instance(p.itype, wait=False)
-        except ChaosError:
-            return None, None
-        self.stats.escalations += 1
-        self.stats.preemptive_escalations += 1
-        if ctx.obs.enabled:
-            ctx.obs.metrics.counter("runner.spot.escalations",
-                                    reason=reason.split(":")[0]).inc()
-        return SpotBinState(zone=inst.zone.name, itype=p.itype,
-                            on_demand=True), inst
-
-    def work_start_time(self, ctx: CoreContext) -> float | None:
-        """The fleet barrier: the slowest boot across the placed bins."""
-        if not ctx.grants:
-            return None
-        return max(g.instance.ready_at for g in ctx.grants)
-
-    def on_work_start(self, ctx: CoreContext) -> None:
-        """Mark every placed instance RUNNING and set the report's rate."""
-        for g in ctx.grants:
-            g.instance.mark_running(ctx.engine.now)
-            g.work_start = ctx.work_start
-        ctx.report.rate = self.ladder.policy.itype.hourly_rate
-
-    def grants(self, ctx: CoreContext) -> Iterator[BinGrant]:
-        """Yield the placed grants, in bin order."""
-        yield from ctx.grants
-
-    def replacement(self, ctx: CoreContext, *, at: float,
-                    est_seconds: float = 0.0, bin_index: int | None = None,
-                    boot_attach_penalty: float = 180.0,
-                    warm_attach_penalty: float = 30.0):
-        """Draw a replacement through the shared penalty-timing path."""
-        from repro.resilience.launch import acquire_replacement
-
-        campaign = None if bin_index is None else f"bin-{bin_index}"
-        return acquire_replacement(
-            ctx.cloud, at=at, est_seconds=est_seconds,
-            launcher=self.launcher, tenant="spot", campaign=campaign,
-            boot_attach_penalty=boot_attach_penalty,
-            warm_attach_penalty=warm_attach_penalty)
+    broker = SpotBroker(board, ladder,
+                        stats=stats if stats is not None else SpotRunStats(),
+                        escalation=escalation)
+    return BrokerAcquisition(broker, launcher=launcher,
+                             replacement_tenant="spot")
 
 
 class SpotProgress:
@@ -278,10 +178,17 @@ class SpotProgress:
     checkpointed (when the policy allows); the segment bills under the
     2010 spot rules; the ladder decides the next rung; the loop repeats
     until done, escalated, or out of patience.
+
+    Escalated segments draw from the acquisition broker's ``escalation``
+    stack when one is attached (the default
+    :class:`~repro.capacity.OnDemandBroker` reproduces the direct
+    full-rate launch exactly); a warm-lease escalation hands the segment
+    an already-running pooled instance, and completion releases it back
+    instead of terminating.
     """
 
     def __init__(self, board: SpotMarketBoard, ladder: SpotLadder, *,
-                 acquisition: SpotAcquisition,
+                 acquisition: "BrokerAcquisition",
                  chaos: "FaultInjector | None" = None,
                  stats: SpotRunStats | None = None) -> None:
         self.board = board
@@ -291,6 +198,24 @@ class SpotProgress:
         self.stats = stats if stats is not None else SpotRunStats()
 
     # -- helpers -----------------------------------------------------------
+
+    def _next_segment_instance(self, ctx: CoreContext, idx: int,
+                               itype: InstanceType, at: float,
+                               est_remaining: float
+                               ) -> tuple["Instance", "CapacityOffer | None"]:
+        """The next segment's machine, from the escalation broker stack.
+
+        Chaos rejections propagate exactly as the direct
+        ``launch_instance`` they replace did; callers decide whether a
+        refusal fails the bin.
+        """
+        broker = getattr(self.acquisition, "broker", None)
+        escalate = getattr(broker, "escalation_offer", None)
+        if escalate is None:
+            return ctx.cloud.launch_instance(itype, wait=False), None
+        offer = escalate(ctx.cloud, at=at, predicted=est_remaining,
+                         bin_index=idx, itype=itype)
+        return offer.instance, offer
 
     def _measure(self, ctx: CoreContext, active: "Instance",
                  units: list) -> float:
@@ -353,6 +278,13 @@ class SpotProgress:
         deadline = ctx.plan.deadline
 
         active = grant.instance
+        # The offer behind a leased grant: completion must release it to
+        # the pool, never terminate or re-bill a manager-owned machine.
+        active_offer: "CapacityOffer | None" = None
+        if grant.lease is not None:
+            bin_offer = getattr(self.acquisition, "bin_offer", None)
+            active_offer = (bin_offer(grant.index)
+                            if bin_offer is not None else None)
         zone, itype, on_demand = state.zone, state.itype, state.on_demand
         remaining = 1.0          # fraction of the bin still to do
         elapsed = 0.0            # bin-relative seconds (the report duration)
@@ -370,8 +302,12 @@ class SpotProgress:
                    else self._next_interruption(seg_start, zone, itype))
             if hit is None or seg_start + seg_need <= hit[0]:
                 end = seg_start + seg_need
+                leased = (active_offer is not None
+                          and active_offer.lease is not None)
                 if on_demand:
-                    self._bill_on_demand(ctx, active, itype, seg_start, end)
+                    if not leased:  # a leased segment bills with its manager
+                        self._bill_on_demand(ctx, active, itype, seg_start,
+                                             end)
                 else:
                     self._bill_spot(ctx, active, zone, itype, seg_start, end,
                                     interrupted=False)
@@ -385,7 +321,10 @@ class SpotProgress:
                                         strategy=ctx.report.strategy).inc()
                     obs.metrics.histogram("runner.task.seconds"
                                           ).observe(seg_need)
-                active.terminate(end)
+                if leased:
+                    active_offer.broker.settle(ctx.cloud, active_offer, end)
+                else:
+                    active.terminate(end)
                 elapsed += seg_need
                 break
 
@@ -457,11 +396,13 @@ class SpotProgress:
             self._note_rung(obs, stats, decision)
 
             # -- acquire the next segment's instance ------------------------
+            nxt_offer: "CapacityOffer | None" = None
             if decision.rung == "on-demand":
                 on_demand = True
                 itype = decision.itype or p.itype
                 try:
-                    nxt = ctx.cloud.launch_instance(itype, wait=False)
+                    nxt, nxt_offer = self._next_segment_instance(
+                        ctx, idx, itype, at, est_remaining)
                 except ChaosError as e:
                     failed = FailedBin(
                         bin_index=idx, reason=f"on-demand-refused: {e}",
@@ -487,21 +428,26 @@ class SpotProgress:
                     if obs.enabled:
                         obs.metrics.counter("runner.spot.escalations",
                                             reason="launch-rejected").inc()
-                    nxt = ctx.cloud.launch_instance(itype, wait=False)
+                    nxt, nxt_offer = self._next_segment_instance(
+                        ctx, idx, itype, at, est_remaining)
                     zone = nxt.zone.name
-            seg_restart = max(decision.resume_at, nxt.ready_at)
-            seg_restart += p.restart_overhead
-            nxt.mark_running(seg_restart)
+            lease = nxt_offer.lease if nxt_offer is not None else None
+            ready = lease.ready_at if lease is not None else nxt.ready_at
+            seg_restart = resume_time(decision.resume_at, ready,
+                                      p.restart_overhead)
+            if lease is None:
+                nxt.mark_running(seg_restart)
             stats.queued_seconds += decision.queued_seconds
             elapsed = seg_restart - work_start
             active = nxt
+            active_offer = nxt_offer if lease is not None else None
             # loop: measure the new instance, run what remains
 
         if first_full is not None:
             # The counterfactual: this bin, uninterrupted on its first
             # instance, at the primary type's on-demand ceil-hour rate.
-            stats.on_demand_equivalent += (billed_hours(first_full)
-                                           * p.itype.hourly_rate)
+            stats.on_demand_equivalent += ceil_hour_cost(
+                first_full, p.itype.hourly_rate)
 
         if failed is not None:
             if obs.enabled:
@@ -572,6 +518,8 @@ class SpotCompletion(StaticCompletion):
         from repro.cloud.instance import InstanceState
 
         for g in ctx.grants:
+            if g.lease is not None:
+                continue  # manager-owned: released back to its warm pool
             if g.instance.state in (InstanceState.PENDING,
                                     InstanceState.RUNNING):
                 g.instance.terminate(max(ctx.cloud.now, g.work_start))

@@ -9,8 +9,8 @@ from __future__ import annotations
 
 import math
 
-__all__ = ["KB", "MB", "GB", "HOUR", "MINUTE", "billed_hours", "fmt_bytes",
-           "fmt_seconds"]
+__all__ = ["KB", "MB", "GB", "HOUR", "MINUTE", "billed_hours",
+           "ceil_hour_cost", "resume_time", "fmt_bytes", "fmt_seconds"]
 
 KB = 1_000
 MB = 1_000_000
@@ -31,6 +31,28 @@ def billed_hours(duration_seconds: float) -> int:
     it as one committed hour).
     """
     return max(1, math.ceil(duration_seconds / HOUR))
+
+
+def ceil_hour_cost(duration_seconds: float, hourly_rate: float) -> float:
+    """The on-demand bill for a run: ``billed_hours(d) * rate``.
+
+    One definition for the "what would this have cost at the posted
+    rate" arithmetic that the spot runner (on-demand-equivalent
+    baseline) and the resilience layer both need.
+    """
+    return billed_hours(duration_seconds) * hourly_rate
+
+
+def resume_time(at: float, ready_at: float, overhead: float = 0.0) -> float:
+    """When work actually restarts on a replacement instance.
+
+    ``max(at, ready_at) + overhead``: no earlier than the decision point
+    *and* no earlier than the instance is booted, plus any fixed restart
+    overhead (checkpoint reload, re-attach).  Shared by the spot runner's
+    segment restarts and the resilience layer's replacement attach so the
+    two paths cannot drift.
+    """
+    return max(at, ready_at) + overhead
 
 
 def fmt_bytes(n: int | float) -> str:

@@ -1,0 +1,556 @@
+"""Pre-broker acquisition policies, frozen as differential oracles.
+
+Verbatim copies of ``FleetLaunchAcquisition``, ``LeaseAcquisition``,
+``SpotAcquisition`` and ``SpotProgress`` exactly as they existed before
+the :mod:`repro.capacity` broker layer rewrote them as thin
+:class:`~repro.capacity.BrokerAcquisition` configurations — only the
+imports are adjusted.  ``tests/test_capacity_differential.py`` wires
+these into :class:`~repro.runner.core.ExecutionCore` and asserts bit
+equality of reports, ledgers, lease stats, spot stats and engine clocks
+against the broker-routed public entry points, across seeds × scenarios.
+
+Do not "improve" this module: its value is that it does not change.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.cloud.cluster import Cloud
+from repro.cloud.service import ExecutionService, Workload
+from repro.cloud.spot import TWO_MINUTE_WARNING, SpotMarketBoard
+from repro.cloud.types import AvailabilityZone, InstanceType
+from repro.core.planner import ProvisioningPlan
+from repro.resilience.spot import FallbackDecision, SpotFallbackPolicy, SpotLadder
+from repro.runner.core import (
+    BinGrant,
+    BinOutcome,
+    CoreContext,
+    ExecutionCore,
+)
+from repro.runner.execute import FailedBin, InstanceRun
+from repro.runner.spot import (
+    SpotBinState,
+    SpotCompletion,
+    SpotRunResult,
+    SpotRunStats,
+)
+from repro.units import billed_hours
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.chaos import FaultInjector
+    from repro.cloud.instance import Instance
+    from repro.fleet.lease import LeaseManager
+    from repro.resilience.launch import ResilientLauncher
+
+__all__ = [
+    "ReferenceFleetLaunchAcquisition",
+    "ReferenceLeaseAcquisition",
+    "ReferenceSpotAcquisition",
+    "ReferenceSpotProgress",
+    "execute_plan_spot_reference",
+]
+
+
+class ReferenceFleetLaunchAcquisition:
+    """Seed ``FleetLaunchAcquisition``, verbatim."""
+
+    def __init__(self, *, launcher: "ResilientLauncher | None" = None,
+                 lease_manager: "LeaseManager | None" = None,
+                 on_fault: str = "fail-bin",
+                 replacement_tenant: str = "runner") -> None:
+        if on_fault not in ("fail-bin", "raise"):
+            raise ValueError("on_fault must be 'fail-bin' or 'raise'")
+        self.launcher = launcher
+        self.lease_manager = lease_manager
+        self.on_fault = on_fault
+        self.replacement_tenant = replacement_tenant
+
+    def acquire_fleet(self, ctx: CoreContext) -> None:
+        from repro.resilience.launch import launch_fleet
+
+        if self.on_fault == "raise":
+            granted = [(idx, ctx.cloud.launch_instance(wait=False), 0.0)
+                       for idx, _ in ctx.occupied]
+            failed: list[tuple[int, str]] = []
+        else:
+            granted, failed = launch_fleet(
+                ctx.cloud, [i for i, _ in ctx.occupied], launcher=self.launcher)
+        for idx, reason in failed:
+            units = ctx.by_index[idx]
+            ctx.report.failures.append(FailedBin(
+                bin_index=idx, reason=reason, n_units=len(units),
+                volume=sum(u.size for u in units)))
+        ctx.grants = [
+            BinGrant(index=idx, units=ctx.by_index[idx], instance=inst,
+                     launch_wait=wait, boot_delay=wait + inst.boot_delay,
+                     predicted=ctx.predicted[idx])
+            for idx, inst, wait in granted
+        ]
+
+    def work_start_time(self, ctx: CoreContext) -> float | None:
+        if not ctx.grants:
+            return None
+        return max(g.instance.ready_at + g.launch_wait for g in ctx.grants)
+
+    def on_work_start(self, ctx: CoreContext) -> None:
+        for g in ctx.grants:
+            g.instance.mark_running(ctx.engine.now)
+            g.work_start = ctx.work_start
+        ctx.report.rate = ctx.grants[0].instance.itype.hourly_rate
+
+    def grants(self, ctx: CoreContext) -> Iterator[BinGrant]:
+        yield from ctx.grants
+
+    def replacement(self, ctx: CoreContext, *, at: float,
+                    est_seconds: float = 0.0, bin_index: int | None = None,
+                    boot_attach_penalty: float = 180.0,
+                    warm_attach_penalty: float = 30.0):
+        from repro.resilience.launch import acquire_replacement
+
+        campaign = None if bin_index is None else f"bin-{bin_index}"
+        return acquire_replacement(
+            ctx.cloud, at=at, est_seconds=est_seconds,
+            lease_manager=self.lease_manager, launcher=self.launcher,
+            tenant=self.replacement_tenant, campaign=campaign,
+            boot_attach_penalty=boot_attach_penalty,
+            warm_attach_penalty=warm_attach_penalty)
+
+
+class ReferenceLeaseAcquisition:
+    """Seed ``LeaseAcquisition``, verbatim."""
+
+    def __init__(self, manager: "LeaseManager", *, tenant: str = "default",
+                 campaign: str | None = None) -> None:
+        self.manager = manager
+        self.tenant = tenant
+        self.campaign = campaign
+
+    def acquire_fleet(self, ctx: CoreContext) -> None:
+        pass  # leases are drawn per bin, inside grants()
+
+    def work_start_time(self, ctx: CoreContext) -> float | None:
+        return ctx.cloud.now if ctx.occupied else None
+
+    def on_work_start(self, ctx: CoreContext) -> None:
+        pass  # the manager marks cold boots RUNNING itself
+
+    def grants(self, ctx: CoreContext) -> Iterator[BinGrant]:
+        t0 = ctx.work_start
+        for idx, units in ctx.occupied:
+            predicted = ctx.predicted[idx]
+            lease = self.manager.acquire(self.tenant, est_seconds=predicted,
+                                         at=t0, campaign=self.campaign)
+            yield BinGrant(
+                index=idx, units=units, instance=lease.instance,
+                boot_delay=lease.ready_at - t0, work_start=lease.ready_at,
+                predicted=predicted, lease=lease,
+                span_extra={"tenant": self.tenant, "source": lease.source})
+
+    def replacement(self, ctx: CoreContext, *, at: float,
+                    est_seconds: float = 0.0, bin_index: int | None = None,
+                    boot_attach_penalty: float = 180.0,
+                    warm_attach_penalty: float = 30.0):
+        from repro.resilience.launch import acquire_replacement
+
+        campaign = self.campaign if bin_index is None else f"bin-{bin_index}"
+        return acquire_replacement(
+            ctx.cloud, at=at, est_seconds=est_seconds,
+            lease_manager=self.manager, tenant=self.tenant, campaign=campaign,
+            boot_attach_penalty=boot_attach_penalty,
+            warm_attach_penalty=warm_attach_penalty)
+
+
+def _zone_of(cloud: Cloud, name: str) -> AvailabilityZone:
+    for z in cloud.region.zones:
+        if z.name == name:
+            return z
+    raise KeyError(f"no zone {name!r} in region {cloud.region.name}")
+
+
+class ReferenceSpotAcquisition:
+    """Seed ``SpotAcquisition``, verbatim."""
+
+    def __init__(self, board: SpotMarketBoard, *, ladder: SpotLadder,
+                 stats: SpotRunStats | None = None,
+                 launcher: "ResilientLauncher | None" = None) -> None:
+        self.board = board
+        self.ladder = ladder
+        self.stats = stats if stats is not None else SpotRunStats()
+        self.launcher = launcher
+        self._states: dict[int, SpotBinState] = {}
+
+    def bin_state(self, index: int) -> SpotBinState:
+        return self._states[index]
+
+    def acquire_fleet(self, ctx: CoreContext) -> None:
+        from repro.chaos import ChaosError
+
+        p = self.ladder.policy
+        now = ctx.cloud.now
+        grants: list[BinGrant] = []
+        for idx, units in ctx.occupied:
+            predicted = ctx.predicted[idx]
+            state, inst = None, None
+            if self.ladder.should_escalate(predicted, ctx.plan.deadline):
+                state, inst = self._launch_on_demand(ctx, idx, units,
+                                                     reason="preemptive-start")
+            else:
+                zone = self.ladder.initial_zone(now)
+                if zone is None:
+                    if p.escalate:
+                        state, inst = self._launch_on_demand(
+                            ctx, idx, units, reason="unaffordable-start")
+                else:
+                    try:
+                        inst = ctx.cloud.launch_instance(
+                            p.itype, _zone_of(ctx.cloud, zone), wait=False)
+                        state = SpotBinState(zone=zone, itype=p.itype)
+                    except ChaosError as e:
+                        if p.escalate:
+                            state, inst = self._launch_on_demand(
+                                ctx, idx, units, reason=f"launch-rejected: {e}")
+            if state is None or inst is None:
+                ctx.report.failures.append(FailedBin(
+                    bin_index=idx, reason="spot-unavailable",
+                    n_units=len(units), volume=sum(u.size for u in units)))
+                if ctx.obs.enabled:
+                    ctx.obs.metrics.counter("runner.bins.failed",
+                                            reason="spot-unavailable").inc()
+                continue
+            self._states[idx] = state
+            grants.append(BinGrant(
+                index=idx, units=units, instance=inst,
+                boot_delay=inst.boot_delay, predicted=predicted,
+                span_extra={"market": "on-demand" if state.on_demand
+                            else "spot", "zone": state.zone}))
+        ctx.grants = grants
+
+    def _launch_on_demand(self, ctx: CoreContext, idx: int, units: list, *,
+                          reason: str) -> tuple[SpotBinState | None,
+                                                "Instance | None"]:
+        from repro.chaos import ChaosError
+
+        p = self.ladder.policy
+        try:
+            inst = ctx.cloud.launch_instance(p.itype, wait=False)
+        except ChaosError:
+            return None, None
+        self.stats.escalations += 1
+        self.stats.preemptive_escalations += 1
+        if ctx.obs.enabled:
+            ctx.obs.metrics.counter("runner.spot.escalations",
+                                    reason=reason.split(":")[0]).inc()
+        return SpotBinState(zone=inst.zone.name, itype=p.itype,
+                            on_demand=True), inst
+
+    def work_start_time(self, ctx: CoreContext) -> float | None:
+        if not ctx.grants:
+            return None
+        return max(g.instance.ready_at for g in ctx.grants)
+
+    def on_work_start(self, ctx: CoreContext) -> None:
+        for g in ctx.grants:
+            g.instance.mark_running(ctx.engine.now)
+            g.work_start = ctx.work_start
+        ctx.report.rate = self.ladder.policy.itype.hourly_rate
+
+    def grants(self, ctx: CoreContext) -> Iterator[BinGrant]:
+        yield from ctx.grants
+
+    def replacement(self, ctx: CoreContext, *, at: float,
+                    est_seconds: float = 0.0, bin_index: int | None = None,
+                    boot_attach_penalty: float = 180.0,
+                    warm_attach_penalty: float = 30.0):
+        from repro.resilience.launch import acquire_replacement
+
+        campaign = None if bin_index is None else f"bin-{bin_index}"
+        return acquire_replacement(
+            ctx.cloud, at=at, est_seconds=est_seconds,
+            launcher=self.launcher, tenant="spot", campaign=campaign,
+            boot_attach_penalty=boot_attach_penalty,
+            warm_attach_penalty=warm_attach_penalty)
+
+
+class ReferenceSpotProgress:
+    """Seed ``SpotProgress``, verbatim (direct on-demand escalation)."""
+
+    def __init__(self, board: SpotMarketBoard, ladder: SpotLadder, *,
+                 acquisition: ReferenceSpotAcquisition,
+                 chaos: "FaultInjector | None" = None,
+                 stats: SpotRunStats | None = None) -> None:
+        self.board = board
+        self.ladder = ladder
+        self.acquisition = acquisition
+        self.chaos = chaos
+        self.stats = stats if stats is not None else SpotRunStats()
+
+    def _measure(self, ctx: CoreContext, active: "Instance",
+                 units: list) -> float:
+        p = self.ladder.policy
+        t = ctx.svc.run(active, units, ctx.workload, advance_clock=False)
+        return t / (active.itype.compute_units / p.itype.compute_units)
+
+    def _next_interruption(self, seg_start: float, zone: str,
+                           itype: InstanceType) -> tuple[float, str] | None:
+        p = self.ladder.policy
+        hits: list[tuple[float, str]] = []
+        crossing = self.board.next_crossing(zone, after=seg_start, bid=p.bid,
+                                            itype=itype)
+        if crossing is not None:
+            hits.append((crossing.at, "market"))
+        if self.chaos is not None and self.chaos.has_spot_interruptions:
+            at = self.chaos.next_spot_interruption(zone, seg_start)
+            if at is not None:
+                hits.append((at, "trace"))
+        return min(hits) if hits else None
+
+    def _bill_spot(self, ctx: CoreContext, active: "Instance", zone: str,
+                   itype: InstanceType, start: float, end: float, *,
+                   interrupted: bool) -> None:
+        if not ctx.bill:
+            return
+        for s, e, price in self.board.bill_segment(zone, start, end,
+                                                   itype=itype,
+                                                   interrupted=interrupted):
+            rec = ctx.cloud.ledger.record(active.instance_id, itype.name,
+                                          s, e, price)
+            self.stats.spot_cost += rec.cost
+
+    def _bill_on_demand(self, ctx: CoreContext, active: "Instance",
+                        itype: InstanceType, start: float,
+                        end: float) -> None:
+        if not ctx.bill:
+            return
+        rec = ctx.cloud.ledger.record(active.instance_id, itype.name,
+                                      start, end, itype.hourly_rate)
+        self.stats.on_demand_cost += rec.cost
+
+    def execute(self, ctx: CoreContext, grant: BinGrant) -> BinOutcome:
+        from repro.chaos import ChaosError
+
+        p = self.ladder.policy
+        obs = ctx.obs
+        stats = self.stats
+        state = self.acquisition.bin_state(grant.index)
+        idx, units = grant.index, grant.units
+        volume = sum(u.size for u in units)
+        work_start = grant.work_start
+        deadline = ctx.plan.deadline
+
+        active = grant.instance
+        zone, itype, on_demand = state.zone, state.itype, state.on_demand
+        remaining = 1.0
+        elapsed = 0.0
+        interruptions = 0
+        failed: FailedBin | None = None
+        first_full: float | None = None
+
+        while True:
+            seg_start = work_start + elapsed
+            t_full = self._measure(ctx, active, units)
+            if first_full is None:
+                first_full = t_full
+            seg_need = remaining * t_full
+            hit = (None if on_demand
+                   else self._next_interruption(seg_start, zone, itype))
+            if hit is None or seg_start + seg_need <= hit[0]:
+                end = seg_start + seg_need
+                if on_demand:
+                    self._bill_on_demand(ctx, active, itype, seg_start, end)
+                else:
+                    self._bill_spot(ctx, active, zone, itype, seg_start, end,
+                                    interrupted=False)
+                if obs.enabled:
+                    obs.tracer.add_span(
+                        "runner.spot.segment", seg_start, end, cat="runner",
+                        track=active.instance_id, bin=idx,
+                        market="on-demand" if on_demand else "spot",
+                        zone=zone)
+                    obs.metrics.counter("runner.tasks.completed",
+                                        strategy=ctx.report.strategy).inc()
+                    obs.metrics.histogram("runner.task.seconds"
+                                          ).observe(seg_need)
+                active.terminate(end)
+                elapsed += seg_need
+                break
+
+            at, source = hit
+            warning_at = max(seg_start, at - TWO_MINUTE_WARNING)
+            interruptions += 1
+            stats.interruptions += 1
+            ran = at - seg_start
+            if p.checkpoint:
+                preserved = min(seg_need, max(0.0, warning_at - seg_start))
+                remaining = max(0.0, remaining - preserved / t_full)
+                stats.saved_seconds += preserved
+                lost = min(seg_need, ran) - preserved
+            else:
+                preserved = 0.0
+                remaining = 1.0
+                lost = min(seg_need, ran)
+            stats.lost_seconds += lost
+            self._bill_spot(ctx, active, zone, itype, seg_start, at,
+                            interrupted=True)
+            if self.chaos is not None:
+                self.chaos.record_spot_interruption(at, zone, detail=source)
+            if obs.enabled:
+                obs.tracer.add_span("runner.spot.segment", seg_start, at,
+                                    cat="runner", track=active.instance_id,
+                                    bin=idx, market="spot", zone=zone,
+                                    interrupted=source)
+                obs.tracer.instant("runner.spot.warning", cat="runner",
+                                   track=active.instance_id, bin=idx,
+                                   at=round(warning_at, 1))
+                obs.tracer.instant("runner.spot.interruption", cat="runner",
+                                   track=active.instance_id, bin=idx,
+                                   zone=zone, source=source,
+                                   at=round(at, 1))
+                obs.metrics.counter("runner.spot.interruptions",
+                                    source=source).inc()
+                obs.metrics.histogram("runner.spot.saved_seconds"
+                                      ).observe(preserved)
+                obs.metrics.histogram("runner.spot.lost_seconds"
+                                      ).observe(lost)
+            active.terminate(at)
+            elapsed = at - work_start
+
+            if interruptions >= p.max_interruptions and not p.escalate:
+                failed = FailedBin(
+                    bin_index=idx, reason="spot-interruptions-exhausted",
+                    n_units=len(units), volume=volume, elapsed=elapsed)
+                break
+
+            est_remaining = remaining * max(grant.predicted, t_full)
+            decision = self.ladder.decide(
+                now=at, zone=zone, remaining_predicted=est_remaining,
+                deadline_remaining=deadline - elapsed)
+            if (interruptions >= p.max_interruptions
+                    and decision.rung not in ("on-demand", "give-up")):
+                decision = FallbackDecision("on-demand", itype=p.itype,
+                                            resume_at=at)
+            if decision.rung == "give-up":
+                failed = FailedBin(
+                    bin_index=idx, reason="spot-unaffordable",
+                    n_units=len(units), volume=volume, elapsed=elapsed)
+                break
+            self._note_rung(obs, stats, decision)
+
+            if decision.rung == "on-demand":
+                on_demand = True
+                itype = decision.itype or p.itype
+                try:
+                    nxt = ctx.cloud.launch_instance(itype, wait=False)
+                except ChaosError as e:
+                    failed = FailedBin(
+                        bin_index=idx, reason=f"on-demand-refused: {e}",
+                        n_units=len(units), volume=volume, elapsed=elapsed)
+                    break
+                zone = nxt.zone.name
+            else:
+                zone = decision.zone or zone
+                itype = decision.itype or p.itype
+                try:
+                    nxt = ctx.cloud.launch_instance(
+                        itype, _zone_of(ctx.cloud, zone), wait=False)
+                except ChaosError as e:
+                    if not p.escalate:
+                        failed = FailedBin(
+                            bin_index=idx, reason=f"launch-rejected: {e}",
+                            n_units=len(units), volume=volume,
+                            elapsed=elapsed)
+                        break
+                    on_demand = True
+                    itype = p.itype
+                    stats.escalations += 1
+                    if obs.enabled:
+                        obs.metrics.counter("runner.spot.escalations",
+                                            reason="launch-rejected").inc()
+                    nxt = ctx.cloud.launch_instance(itype, wait=False)
+                    zone = nxt.zone.name
+            seg_restart = max(decision.resume_at, nxt.ready_at)
+            seg_restart += p.restart_overhead
+            nxt.mark_running(seg_restart)
+            stats.queued_seconds += decision.queued_seconds
+            elapsed = seg_restart - work_start
+            active = nxt
+
+        if first_full is not None:
+            stats.on_demand_equivalent += (billed_hours(first_full)
+                                           * p.itype.hourly_rate)
+
+        if failed is not None:
+            if obs.enabled:
+                obs.tracer.instant("runner.bin.failed", cat="runner",
+                                   track=active.instance_id, bin=idx,
+                                   reason=failed.reason)
+                obs.metrics.counter("runner.bins.failed",
+                                    reason=failed.reason.split(":")[0]).inc()
+            return BinOutcome(failure=failed, active=active,
+                              duration=elapsed, end=work_start + elapsed)
+        run = InstanceRun(
+            instance_id=active.instance_id,
+            n_units=len(units),
+            volume=volume,
+            boot_delay=grant.boot_delay,
+            duration=elapsed,
+            predicted=grant.predicted,
+        )
+        return BinOutcome(run=run, active=active, duration=elapsed,
+                          end=work_start + elapsed)
+
+    def _note_rung(self, obs, stats: SpotRunStats,
+                   decision: FallbackDecision) -> None:
+        if decision.rung == "rebid-az":
+            stats.rebids += 1
+            if obs.enabled:
+                obs.metrics.counter("runner.spot.rebids").inc()
+        elif decision.rung == "retype":
+            stats.retypes += 1
+            if obs.enabled:
+                obs.metrics.counter("runner.spot.retypes").inc()
+        elif decision.rung in ("queue", "wait-same-zone"):
+            stats.queued += 1
+            if obs.enabled:
+                obs.metrics.counter("runner.spot.queued",
+                                    mode=decision.rung).inc()
+        elif decision.rung == "on-demand":
+            stats.escalations += 1
+            if obs.enabled:
+                obs.metrics.counter("runner.spot.escalations",
+                                    reason="deadline-risk").inc()
+
+
+def execute_plan_spot_reference(
+    cloud: Cloud,
+    workload: Workload,
+    plan: ProvisioningPlan,
+    *,
+    policy: SpotFallbackPolicy | None = None,
+    board: SpotMarketBoard | None = None,
+    launcher: "ResilientLauncher | None" = None,
+    service: ExecutionService | None = None,
+    bill: bool = True,
+    label: str = "execute_plan_spot",
+) -> SpotRunResult:
+    """Seed ``execute_plan_spot``, wired to the frozen policies."""
+    policy = policy if policy is not None else SpotFallbackPolicy()
+    board = board if board is not None else SpotMarketBoard.for_cloud(cloud)
+    ladder = SpotLadder(board, policy=policy, chaos=cloud.chaos)
+    stats = SpotRunStats()
+    acquisition = ReferenceSpotAcquisition(board, ladder=ladder, stats=stats,
+                                           launcher=launcher)
+    core = ExecutionCore(
+        cloud, workload, plan,
+        acquisition=acquisition,
+        progress=ReferenceSpotProgress(board, ladder, acquisition=acquisition,
+                                       chaos=cloud.chaos, stats=stats),
+        completion=SpotCompletion(stats=stats),
+        service=service,
+        bill=bill,
+        label=label,
+        record_kind="spot",
+    )
+    result = core.run()
+    return SpotRunResult(report=result.report, stats=stats,
+                         timeline=result.timeline)

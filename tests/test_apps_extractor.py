@@ -1,6 +1,5 @@
 """Tests for the HTML→text extractor application."""
 
-import pytest
 
 from repro.apps import ExtractCostProfile, ExtractorApplication, as_unit_meta
 from repro.apps.extractor import extract_text

@@ -1,6 +1,5 @@
 """End-to-end campaign integration tests (acquire→probe→fit→reshape→plan→run)."""
 
-import pytest
 
 from repro.apps import (
     GrepApplication,

@@ -5,7 +5,7 @@ import pytest
 
 from repro.apps import GrepApplication, GrepCostProfile, PosCostProfile, PosTaggerApplication
 from repro.cloud import Cloud, ExecutionService, Workload, acquire_good_instance, bonnie_probe
-from repro.cloud.bonnie import AcquisitionError, BONNIE_DURATION, DEFAULT_THRESHOLD
+from repro.cloud.bonnie import AcquisitionError, BONNIE_DURATION
 from repro.cloud.instance import HeterogeneityModel
 from repro.cloud.spot import SpotMarket, SpotRequest
 from repro.corpus import text_400k_like

@@ -18,7 +18,7 @@ from repro.core import (
 )
 from repro.corpus import text_400k_like
 from repro.perfmodel.regression import AffinePredictor, fit_affine, fit_power
-from repro.units import GB, HOUR, KB, MB
+from repro.units import GB, HOUR
 
 
 def eq3_model() -> AffinePredictor:

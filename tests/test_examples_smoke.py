@@ -7,7 +7,6 @@ surfaces immediately.
 """
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest
@@ -46,6 +45,13 @@ class TestFastExamples:
         out = run_example("dynamic_rescheduling.py", capsys)
         assert "straggler(s) replaced" in out
 
+    def test_broker_matrix(self, capsys):
+        out = run_example("broker_matrix.py", capsys)
+        assert "eviction-storm" in out
+        assert "spot-lease" in out
+        assert "interruptions ridden out" in out
+        assert "the broker stack is the only thing that changed" in out
+
     def test_fleet_sharing(self, capsys):
         out = run_example("fleet_sharing.py", capsys)
         assert "rejected (unknown tenant 'hooli')" in out
@@ -65,6 +71,7 @@ class TestExampleFilesExist:
         "spot_market.py",
         "spot_fallback.py",
         "fleet_sharing.py",
+        "broker_matrix.py",
     ])
     def test_listed_example_exists_and_has_main(self, name):
         path = EXAMPLES / name

@@ -9,7 +9,7 @@ from repro.cloud.instance import InstanceError, InstanceState
 from repro.core import StaticProvisioner, reshape
 from repro.corpus import text_400k_like
 from repro.perfmodel.regression import fit_affine
-from repro.runner import FaultPolicy, execute_fault_tolerant, execute_plan
+from repro.runner import FaultPolicy, execute_fault_tolerant
 from repro.sim.random import RngStream
 
 

@@ -1,6 +1,5 @@
 """Tests for figure JSON round-trips and campaign-integrated refinement."""
 
-import pytest
 
 from repro.apps import GrepApplication, GrepCostProfile
 from repro.cloud import Cloud, Workload

@@ -6,7 +6,6 @@ decisions, exact per-tenant cost attribution, and the headline economics
 — a shared fleet bills less than isolated runs of the same campaigns.
 """
 
-import math
 
 import numpy as np
 import pytest

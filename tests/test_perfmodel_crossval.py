@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.perfmodel.crossval import CvScore, cross_validate, select_by_cv
+from repro.perfmodel.crossval import cross_validate, select_by_cv
 from repro.perfmodel.regression import FitError
 
 

@@ -21,7 +21,6 @@ from repro.perfmodel import (
     refit_with_samples,
     repeat_measure,
 )
-from repro.perfmodel.regression import fit_affine
 from repro.sim.random import RngStream
 from repro.units import KB
 from repro.vfs import Segment

@@ -16,8 +16,7 @@ from hypothesis import strategies as st
 from repro.cloud.billing import billable_hours
 from repro.core import StaticProvisioner, reshape
 from repro.core.deadline import adjusted_deadline
-from repro.packing.bins import Item
-from repro.perfmodel.regression import FitError, fit_affine, fit_power
+from repro.perfmodel.regression import fit_affine, fit_power
 from repro.sim.engine import SimulationEngine
 from repro.sim.random import RngStream
 from repro.vfs import Catalogue, TextStats, VirtualFile

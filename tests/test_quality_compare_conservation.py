@@ -22,7 +22,15 @@ from repro.apps import (
     PosCostProfile,
     PosTaggerApplication,
 )
-from repro.chaos import FaultInjector, get_scenario
+from repro.capacity import (
+    BrokerAcquisition,
+    LadderBroker,
+    OnDemandBroker,
+    ResilientBroker,
+    SpotBroker,
+    WarmLeaseBroker,
+)
+from repro.chaos import FaultInjector, get_scenario, get_spot_regime
 from repro.cloud import Cloud, FailureModel, Workload
 from repro.cloud.bonnie import BONNIE_DURATION
 from repro.core import StaticProvisioner, reshape
@@ -39,6 +47,7 @@ from repro.runner import (
     execute_on_fleet,
     execute_plan,
     execute_plan_event_driven,
+    execute_plan_spot,
     execute_quality_aware,
     execute_with_monitoring,
 )
@@ -229,6 +238,24 @@ class TestWorkConservation:
         report = execute_on_fleet(manager, pos_workload(), plan)
         assert_work_conserved(plan, report)
 
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 2**16),
+           regime=st.sampled_from([None, "calm", "choppy", "eviction-storm"]),
+           chaos=st.sampled_from([None, "capacity-crunch"]),
+           deadline=st.sampled_from([30.0, 7200.0]))
+    def test_spot_runner(self, seed, regime, chaos, deadline):
+        """Spot market × interruption regime × launch chaos conserves work."""
+        plan = make_plan(deadline=deadline)
+        scenarios = []
+        if regime is not None:
+            scenarios.append(get_spot_regime(regime).scenario(seed))
+        if chaos is not None:
+            scenarios.append(get_scenario(chaos))
+        cloud = Cloud(seed=seed, chaos=FaultInjector(scenarios, seed=seed)
+                      if scenarios else None)
+        result = execute_plan_spot(cloud, pos_workload(), plan)
+        assert_work_conserved(plan, result.report)
+
     @settings(max_examples=5, deadline=None)
     @given(seed=st.integers(0, 2**16),
            chaos=st.sampled_from(["capacity-crunch", "kitchen-sink"]))
@@ -246,3 +273,96 @@ class TestWorkConservation:
             if f.absorbed:
                 # its units are inside the survivors' totals already
                 assert sum(r.n_units for r in report.runs) == plan_units(plan)
+
+
+class TestBrokerStackConservation:
+    """Hypothesis: hand-composed broker stacks conserve the plan's work.
+
+    The entry-point runners above exercise the canonical stacks; these
+    cases wire BrokerAcquisition directly with ladders and decorators the
+    runners never build, under chaos, and check the same invariant.
+    """
+
+    def _core(self, cloud, plan, acquisition, completion):
+        from repro.runner.core import ExecutionCore, RunToCompletion
+
+        return ExecutionCore(cloud, pos_workload(), plan,
+                             acquisition=acquisition,
+                             progress=RunToCompletion(),
+                             completion=completion,
+                             label="broker-stack")
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 2**16),
+           chaos=st.sampled_from([None, "capacity-crunch", "flaky-boots",
+                                  "kitchen-sink"]),
+           stack=st.sampled_from(["on-demand", "resilient",
+                                  "resilient-ladder"]))
+    def test_fleet_stacks(self, seed, chaos, stack):
+        from repro.runner.core import StaticCompletion
+
+        plan = make_plan()
+        cloud = Cloud(seed=seed, chaos=FaultInjector(
+            [get_scenario(chaos)], seed=seed) if chaos else None)
+        if stack == "on-demand":
+            broker = OnDemandBroker()
+        elif stack == "resilient":
+            broker = ResilientBroker(ResilientLauncher(cloud))
+        else:
+            broker = LadderBroker([ResilientBroker(ResilientLauncher(cloud)),
+                                   OnDemandBroker()])
+        core = self._core(cloud, plan,
+                          BrokerAcquisition(broker),
+                          StaticCompletion())
+        assert_work_conserved(plan, core.run().report)
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 2**16),
+           strategy=st.sampled_from(["uniform", "first-fit"]))
+    def test_warm_lease_stack(self, seed, strategy):
+        from repro.runner.core import LeaseCompletion
+
+        plan = make_plan(strategy=strategy)
+        cloud = Cloud(seed=seed)
+        manager = LeaseManager(cloud)
+        acq = BrokerAcquisition(WarmLeaseBroker(manager, tenant="stack"),
+                                lazy=True, lease_manager=manager,
+                                replacement_tenant="stack")
+        core = self._core(cloud, plan, acq, LeaseCompletion(manager))
+        report = core.run().report
+        assert_work_conserved(plan, report)
+        manager.shutdown()
+        # every paid instance-hour in the ledger, none double-billed
+        assert len(cloud.ledger.records) >= 1
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 2**16),
+           regime=st.sampled_from([None, "choppy", "eviction-storm"]),
+           deadline=st.sampled_from([30.0, 7200.0]))
+    def test_spot_ladder_stack(self, seed, regime, deadline):
+        from repro.cloud.spot import SpotMarketBoard
+        from repro.resilience import SpotFallbackPolicy, SpotLadder
+        from repro.runner.core import ExecutionCore
+        from repro.runner.spot import SpotCompletion, SpotProgress, SpotRunStats
+
+        plan = make_plan(deadline=deadline)
+        cloud = Cloud(seed=seed, chaos=FaultInjector(
+            [get_spot_regime(regime).scenario(seed)], seed=seed)
+            if regime else None)
+        board = SpotMarketBoard.for_cloud(cloud)
+        ladder = SpotLadder(board, policy=SpotFallbackPolicy(),
+                            chaos=cloud.chaos)
+        stats = SpotRunStats()
+        broker = LadderBroker([SpotBroker(board, ladder, stats=stats),
+                               OnDemandBroker()])
+        acq = BrokerAcquisition(broker, replacement_tenant="spot")
+        core = ExecutionCore(cloud, pos_workload(), plan,
+                             acquisition=acq,
+                             progress=SpotProgress(board, ladder,
+                                                   acquisition=acq,
+                                                   chaos=cloud.chaos,
+                                                   stats=stats),
+                             completion=SpotCompletion(stats=stats),
+                             label="spot-ladder-stack",
+                             record_kind="spot")
+        assert_work_conserved(plan, core.run().report)

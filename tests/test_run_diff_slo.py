@@ -211,6 +211,42 @@ class TestChaosSlos:
         assert report.ok and report.n_records == 0
 
 
+class TestSloPolicyRegistry:
+    def test_defaults_registered(self):
+        from repro.experiments.registry import (
+            get_slo_policy,
+            load_defaults,
+            slo_policy_names,
+        )
+
+        load_defaults()
+        assert {"chaos", "dag", "spot", "matrix"} <= set(slo_policy_names())
+        entry = get_slo_policy("matrix")
+        assert entry.group_key == "config.stack"
+        assert entry.group_name == "stack"
+        assert entry.label_prefix == "exp_matrix."
+
+    def test_register_is_last_writer_wins(self):
+        from repro.experiments.registry import (
+            get_slo_policy,
+            register_slo_policy,
+        )
+        from repro.obs.slo import Objective, SloPolicy
+
+        slos = SloPolicy("t", (Objective("o", "x", "<=", 1.0),))
+        register_slo_policy("_test", slos=slos, group_key="config.a",
+                            group_name="a")
+        replaced = register_slo_policy("_test", slos=slos,
+                                       group_key="config.b", group_name="b")
+        assert get_slo_policy("_test") is replaced
+        assert get_slo_policy("_test").group_key == "config.b"
+
+    def test_cli_unknown_policy_exits_2(self, tmp_path):
+        rc = cli_main(["runs", "slo", "--runs-dir", str(tmp_path),
+                       "--policy", "bogus"])
+        assert rc == 2
+
+
 class TestLedgerFixturesRestored:
     def test_module_default_ledger_is_off_after_suite(self):
         from repro.obs.ledger import get_run_ledger

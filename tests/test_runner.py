@@ -10,7 +10,6 @@ from repro.core import StaticProvisioner, reshape
 from repro.corpus import text_400k_like
 from repro.perfmodel.regression import fit_affine
 from repro.runner import DynamicPolicy, execute_plan, execute_with_monitoring
-from repro.units import HOUR
 
 
 def model():
